@@ -1,0 +1,15 @@
+// Regenerates the §VI.F questionnaire summary.
+//
+// Paper: 10/11 gaming experience (1 recent), 9/11 racing games, 6 with no
+// driving-station experience (3 a few times, 2 once), QoE mean 2.81
+// (min 2, max 4), 11/11 consider virtual testing useful, 5/11 felt the
+// faults.
+#include <cstdio>
+
+#include "campaign.hpp"
+
+int main() {
+  const auto& campaign = bench_helper::campaign();
+  std::fputs(rdsim::core::report::render_questionnaire(campaign).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: the paper's test setup deliberately had *no* safety measures
+// (§I); the methodology exists to design them. This bench closes that loop:
+// it re-runs heavy-fault scenarios with the SafetyMonitor enabled (degraded-
+// mode braking when the command stream goes stale) and reports how the
+// safety metrics move.
+#include <cstdio>
+
+#include "core/teleop.hpp"
+#include "metrics/srr.hpp"
+#include "metrics/ttc.hpp"
+
+using namespace rdsim;
+
+namespace {
+
+core::RunResult run_route(const core::SubjectProfile& profile, net::FaultSpec fault,
+                          bool monitor) {
+  core::RunConfig rc;
+  rc.run_id = monitor ? "guarded" : "bare";
+  rc.subject_id = profile.id;
+  rc.driver = profile.driver;
+  rc.seed = profile.seed ^ 0xabcdef;
+  rc.fault_injected = true;
+  rc.safety.enabled = monitor;
+  // Tighter than the 350 ms default: the uplink stalls of a 5 % loss fault
+  // are ~200-450 ms, so the watchdog must trip inside them to matter.
+  rc.safety.max_command_age_s = 0.25;
+  rc.safety.speed_cap_mps = 3.0;
+  const auto scenario = sim::make_test_route_scenario();
+  for (const auto& poi : scenario.pois) rc.plan.push_back({poi.name, fault});
+  core::TeleopSession session{std::move(rc), scenario};
+  return session.run();
+}
+
+void report_case(const char* fault_name, net::FaultSpec fault) {
+  std::printf("-- fault: %s --\n", fault_name);
+  std::printf("%-4s %-22s %-22s %s\n", "", "without monitor", "with monitor", "");
+  std::printf("%-4s %-6s %-7s %-7s %-6s %-7s %-7s %s\n", "subj", "crash", "minTTC",
+              "dur[s]", "crash", "minTTC", "dur[s]", "activations");
+  const auto roster = core::make_roster();
+  for (int idx : {3, 5, 9}) {  // a typical and the two risk-prone subjects
+    const auto& profile = roster[static_cast<std::size_t>(idx)];
+    const auto bare = run_route(profile, fault, false);
+    const auto guarded = run_route(profile, fault, true);
+    metrics::TtcAnalyzer ttc;
+    const auto tb = ttc.summarize(ttc.series(bare.trace));
+    const auto tg = ttc.summarize(ttc.series(guarded.trace));
+    std::printf("%-4s %-6zu %-7.2f %-7.0f %-6zu %-7.2f %-7.0f %llu\n",
+                profile.id.c_str(), bare.trace.collisions.size(),
+                tb.valid() ? tb.min : -1.0, bare.duration_s,
+                guarded.trace.collisions.size(), tg.valid() ? tg.min : -1.0,
+                guarded.duration_s,
+                static_cast<unsigned long long>(guarded.safety_activations));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Safety-monitor ablation: degraded-mode braking when the uplink\n"
+              "command age exceeds 250 ms. Expectation: the monitor trips inside\n"
+              "the loss-fault stalls and softens those crashes; a *constant*\n"
+              "50 ms delay is invisible to a command-age watchdog (age stays\n"
+              "~85 ms), so its crashes persist - a design-loop insight the\n"
+              "methodology is meant to surface.\n\n");
+  report_case("5% packet loss", {net::FaultKind::kPacketLoss, 0.05});
+  report_case("50ms delay", {net::FaultKind::kDelay, 50.0});
+  report_case("200ms delay", {net::FaultKind::kDelay, 200.0});
+  return 0;
+}

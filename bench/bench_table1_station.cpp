@@ -1,0 +1,18 @@
+// Prints Table I: the driving-station technical specification this testbed
+// models, plus the derived timing parameters the models actually consume.
+#include <cstdio>
+
+#include "core/report.hpp"
+
+int main() {
+  const rdsim::core::StationConfig station{};
+  std::fputs(rdsim::core::report::render_table1(station).c_str(), stdout);
+  std::printf("\nDerived model parameters:\n");
+  std::printf("  display latency  %.0f ms\n", station.display_latency_ms);
+  std::printf("  input latency    %.0f ms\n", station.input_latency_ms);
+  std::printf("  wheel range      %.0f deg lock-to-lock\n", station.wheel_range_deg);
+  const rdsim::core::VideoConfig video{};
+  std::printf("  video frame      %.1f MB on the wire (raw sensor stream)\n",
+              video.frame_wire_bytes / 1e6);
+  return 0;
+}

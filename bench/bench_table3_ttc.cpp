@@ -1,0 +1,46 @@
+// Regenerates Table III: Statistics for TTC (max / average / minimum, in
+// seconds) per subject and fault type, NFI = golden run.
+//
+// Shape expectations from §VI.C: average and maximum TTC lower in faulty
+// runs than NFI for most tests; minimum TTC often *higher* under faults
+// (subjects drive more cautiously); with a 6 s violation threshold, 5 %
+// packet loss violates while 5 ms delay does not.
+#include <cstdio>
+
+#include "campaign.hpp"
+
+using namespace rdsim;
+
+int main() {
+  const auto& campaign = bench_helper::campaign();
+  std::fputs(core::report::render_table3(campaign, /*mask_like_paper=*/false).c_str(),
+             stdout);
+  std::printf("\n--- masked to the subjects the paper could report (T5..T12) ---\n");
+  std::fputs(core::report::render_table3(campaign, /*mask_like_paper=*/true).c_str(),
+             stdout);
+
+  // Key shape checks printed explicitly.
+  const auto rows = core::report::ttc_rows(campaign);
+  int avg_lower = 0, avg_total = 0, min_higher = 0, min_total = 0;
+  int viol_5pct = 0, viol_5ms = 0;
+  for (const auto& row : rows) {
+    if (!row.nfi) continue;
+    for (const auto& [label, cell] : row.cells) {
+      if (!cell) continue;
+      ++avg_total;
+      if (cell->avg < row.nfi->avg) ++avg_lower;
+      ++min_total;
+      if (cell->min > row.nfi->min) ++min_higher;
+      if (label == "5%") viol_5pct += static_cast<int>(cell->violations);
+      if (label == "5ms") viol_5ms += static_cast<int>(cell->violations);
+    }
+  }
+  std::printf("\nShape summary:\n");
+  std::printf("  fault cells with avg TTC below the subject's NFI: %d / %d\n", avg_lower,
+              avg_total);
+  std::printf("  fault cells with min TTC above the subject's NFI: %d / %d\n", min_higher,
+              min_total);
+  std::printf("  TTC<6s violation samples under 5%% loss: %d, under 5ms delay: %d\n",
+              viol_5pct, viol_5ms);
+  return 0;
+}

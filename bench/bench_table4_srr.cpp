@@ -1,0 +1,35 @@
+// Regenerates Table IV: Statistics for SRR (reversals per minute).
+//
+// Shape expectations from §VI.D: column averages — NFI lowest (~5), all
+// fault columns above NFI, the three delay columns similar to each other,
+// and 5 % packet loss the highest of all.
+#include <cstdio>
+
+#include "campaign.hpp"
+
+using namespace rdsim;
+
+int main() {
+  const auto& campaign = bench_helper::campaign();
+  std::fputs(core::report::render_table4(campaign, /*mask_like_paper=*/false).c_str(),
+             stdout);
+  std::printf("\n--- masked like the paper (x = data the paper lost) ---\n");
+  std::fputs(core::report::render_table4(campaign, /*mask_like_paper=*/true).c_str(),
+             stdout);
+
+  const auto rows = core::report::srr_rows(campaign);
+  util::RunningStats nfi;
+  std::map<std::string, util::RunningStats> cols;
+  for (const auto& row : rows) {
+    if (row.nfi) nfi.add(*row.nfi);
+    for (const auto& [label, v] : row.cells) {
+      if (v) cols[label].add(*v);
+    }
+  }
+  std::printf("\nShape summary (column means, rev/min):\n  NFI %.2f", nfi.mean());
+  for (const auto& label : core::report::fault_labels()) {
+    std::printf("  %s %.2f", label.c_str(), cols[label].mean());
+  }
+  std::printf("\n  paper: NFI 5.04 | 5ms 7.57 | 25ms 7.85 | 50ms 7.66 | 2%% 7.71 | 5%% 9.18\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Regenerates the §VIII validity observations:
+//
+//   Simulator:       delay >100 ms made it difficult to drive and >200 ms
+//                    stopped the simulator responding; 1 % loss had no
+//                    significant effect, 10 % made it very difficult.
+//   Model vehicle:   delay >20 ms degraded driving, >100 ms impossible;
+//                    7 % loss had a conscious impact, 10 % impossible.
+//
+// The sweep drives the following scenario under each sustained fault level
+// and reports drivability indicators: completion, mean display staleness,
+// effective frame rate, SRR, minimum TTC and collisions.
+#include <cstdio>
+
+#include "core/teleop.hpp"
+#include "metrics/srr.hpp"
+#include "metrics/ttc.hpp"
+
+using namespace rdsim;
+
+namespace {
+
+struct SweepPoint {
+  net::FaultSpec fault;
+  const char* note;
+};
+
+void sweep(const char* title, const core::RdsConfig& rds, double scenario_scale,
+           double speed_scale) {
+  std::printf("%s\n", title);
+  std::printf("%-12s %-9s %-8s %-9s %-8s %-8s %-6s %s\n", "fault", "complete",
+              "fps_eff", "stale_ms", "SRR", "minTTC", "crash", "assessment");
+
+  const SweepPoint points[] = {
+      {{net::FaultKind::kNone, 0.0}, "baseline"},
+      {{net::FaultKind::kDelay, 5.0}, ""},
+      {{net::FaultKind::kDelay, 20.0}, "model-vehicle degradation threshold"},
+      {{net::FaultKind::kDelay, 25.0}, ""},
+      {{net::FaultKind::kDelay, 50.0}, ""},
+      {{net::FaultKind::kDelay, 100.0}, "paper: difficult (sim), impossible (model)"},
+      {{net::FaultKind::kDelay, 200.0}, "paper: simulator stops responding"},
+      {{net::FaultKind::kPacketLoss, 0.01}, "paper: no significant effect"},
+      {{net::FaultKind::kPacketLoss, 0.02}, ""},
+      {{net::FaultKind::kPacketLoss, 0.05}, ""},
+      {{net::FaultKind::kPacketLoss, 0.07}, "paper: conscious impact (model)"},
+      {{net::FaultKind::kPacketLoss, 0.10}, "paper: very difficult / impossible"},
+  };
+
+  for (const auto& point : points) {
+    core::RunConfig rc;
+    rc.run_id = "sweep";
+    rc.subject_id = "sweep";
+    rc.rds = rds;
+    rc.driver = core::DriverParams{};
+    // The operator's internal plant model matches what they drive.
+    rc.driver.vehicle_wheelbase_m = rds.vehicle.wheelbase;
+    rc.driver.vehicle_max_steer_deg = rds.vehicle.max_steer_deg;
+    // Metric gains scale with the world: errors shrink with the geometry,
+    // so per-metre gains must grow to keep the same authority.
+    rc.driver.near_gain /= rds.road_scale;
+    rc.driver.min_lookahead_m *= rds.road_scale;
+    rc.driver.idm_min_gap_m *= rds.road_scale;
+    rc.driver.position_noise_m *= rds.road_scale;
+    rc.driver.startle_jump_m_per_s *= rds.road_scale;
+    rc.driver.staleness_noise_gain *= rds.road_scale;
+    rc.seed = 77;
+
+    // Scale the course for the slower model vehicle.
+    sim::Scenario scenario = sim::make_following_scenario();
+    if (scenario_scale != 1.0) {
+      scenario.end_s *= scenario_scale;
+      scenario.time_limit_s = 300.0;
+      for (auto& instr : scenario.instructions) {
+        instr.from_s *= scenario_scale;
+        instr.to_s *= scenario_scale;
+        instr.target_speed *= speed_scale;
+      }
+      for (auto& poi : scenario.pois) {
+        poi.from_s *= scenario_scale;
+        poi.to_s *= scenario_scale;
+      }
+      scenario.ego_initial_speed *= speed_scale;
+      scenario.populate = {};  // drive the scaled course alone
+    }
+    if (point.fault.kind != net::FaultKind::kNone) {
+      rc.fault_injected = true;
+      for (const auto& poi : scenario.pois) rc.plan.push_back({poi.name, point.fault});
+      // Also cover the whole run: sustained fault, as in the paper's
+      // validity checks.
+      rc.plan.clear();
+    }
+    core::TeleopSession session{std::move(rc), scenario};
+    if (point.fault.kind != net::FaultKind::kNone) {
+      session.injector().inject(point.fault, session.now());
+    }
+    const auto result = session.run();
+
+    metrics::SrrAnalyzer srr;
+    metrics::TtcAnalyzer ttc;
+    const auto srr_r = srr.analyze(result.trace);
+    const auto ttc_r = ttc.summarize(ttc.series(result.trace));
+    const double fps =
+        result.duration_s > 0.0
+            ? static_cast<double>(result.frames_displayed) / result.duration_s
+            : 0.0;
+    const double stale_ms = result.qoe.mean_staleness_s() * 1e3;
+
+    const char* label = point.fault.kind == net::FaultKind::kNone
+                            ? "none"
+                            : nullptr;
+    char buf[32];
+    if (label == nullptr) {
+      std::snprintf(buf, sizeof buf, "%s %s",
+                    net::to_string(point.fault.kind).c_str(),
+                    point.fault.label().c_str());
+      label = buf;
+    }
+    std::printf("%-12s %-9s %-8.1f %-9.0f %-8.1f %-8.2f %-6zu %s\n", label,
+                result.completed ? "yes" : "NO", fps, stale_ms,
+                srr_r.rate_per_min, ttc_r.valid() ? ttc_r.min : -1.0,
+                result.trace.collisions.size(), point.note);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  sweep("=== Full-size RDS (CARLA-like simulator rig) ===", core::RdsConfig{}, 1.0,
+        1.0);
+  // The model vehicle is driven near its top speed relative to its size —
+  // which is why the paper found it degrading at *lower* fault levels than
+  // the simulator.
+  sweep("=== Scaled-down model vehicle (smartphone link) ===",
+        core::RdsConfig::scaled_model_vehicle(), 0.25, 0.38);
+  std::printf("Expected shape: staleness and SRR grow with fault severity;\n"
+              "delays cost throughput (fps collapse at 100-200 ms); loss is\n"
+              "benign at 1%%, noticeable at 2-5%%, and crippling at 10%%. The\n"
+              "model vehicle degrades at lower fault levels than the simulator.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helper for the table benches: runs the 12-subject campaign once
+// per process and caches the result.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/report.hpp"
+
+namespace bench_helper {
+
+inline const rdsim::core::CampaignResult& campaign() {
+  static const rdsim::core::CampaignResult result = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    rdsim::core::ExperimentHarness harness{};
+    auto r = harness.run_campaign();
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("[campaign: 12 subjects x (golden + faulty) in %.1f s wall]\n\n",
+                std::chrono::duration<double>(t1 - t0).count());
+    return r;
+  }();
+  return result;
+}
+
+}  // namespace bench_helper

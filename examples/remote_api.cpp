@@ -1,0 +1,96 @@
+// CARLA-client-style usage of the simulator's RPC API: connect, spawn road
+// users, set the weather, subscribe to the frame stream, and drive the ego
+// with a trivial keyboard-free controller — all across the emulated network,
+// with a netem rule injected halfway through to show meta-commands and
+// frames degrading together.
+#include <cstdio>
+
+#include "sim/rpc.hpp"
+
+using namespace rdsim;
+using util::Duration;
+using util::TimePoint;
+
+int main() {
+  sim::World world{sim::make_town05_route()};
+  net::TrafficControl tc;
+  net::Channel channel{tc, "lo"};
+  net::PacketRouter router{channel};
+  sim::RpcTransport transport{router, channel};
+  sim::SimServer server{world, transport};
+  server.set_frame_wire_bytes(500000);
+  sim::SimClient client{transport};
+
+  TimePoint now;
+  auto pump = [&](Duration d) {
+    const TimePoint end = now + d;
+    while (now < end) {
+      now += Duration::millis(1);
+      world.step(0.001);
+      router.poll(now);
+      server.step(now);
+      client.step(now);
+    }
+  };
+  auto wait_for = [&](std::uint32_t id) {
+    for (int i = 0; i < 10000; ++i) {
+      if (auto resp = client.take_response(id)) return *resp;
+      pump(Duration::millis(1));
+    }
+    std::fprintf(stderr, "rpc timeout\n");
+    std::exit(1);
+  };
+
+  std::printf("connecting...\n");
+  wait_for(client.hello());
+
+  std::printf("spawning ego + lead vehicle, switching to night...\n");
+  const auto ego = wait_for(client.spawn_vehicle(sim::ActorKind::kVehicle, 0.0, 0.0,
+                                                 8.0, "ego"));
+  const auto lead = wait_for(client.spawn_vehicle(sim::ActorKind::kVehicle, 60.0, 0.0,
+                                                  8.0, "lead"));
+  world.designate_ego(ego.actor);
+  sim::WeatherConfig weather;
+  weather.night = true;
+  wait_for(client.set_weather(weather));
+  wait_for(client.subscribe_frames(20.0));
+
+  std::printf("driving for 20 s; injecting 'netem delay 100ms' at t=10 s...\n\n");
+  int frames = 0;
+  double worst_gap_ms = 0.0;
+  TimePoint last_frame = now;
+  bool injected = false;
+  while (now.to_seconds() < 20.0) {
+    if (!injected && now.to_seconds() >= 10.0) {
+      tc.execute("tc qdisc add dev lo root netem delay 100ms");
+      injected = true;
+      std::printf("t=%.1fs  injected delay 100ms (watch the frame gaps)\n",
+                  now.to_seconds());
+    }
+    if (auto frame = client.take_frame()) {
+      ++frames;
+      worst_gap_ms = std::max(worst_gap_ms, (now - last_frame).to_millis());
+      last_frame = now;
+      // A minimal remote controller: keep ~10 m/s using the frame's own ego
+      // state (stale under the fault, exactly like the real thing).
+      sim::VehicleControl c;
+      const double speed = frame->ego.state.velocity.norm();
+      c.throttle = speed < 10.0 ? 0.5 : 0.0;
+      client.apply_control(ego.actor, c);
+    }
+    pump(Duration::millis(5));
+  }
+  (void)lead;
+  std::printf("\nreceived %d frames; worst inter-frame gap %.0f ms\n", frames,
+              worst_gap_ms);
+  std::printf("server served %llu requests, streamed %llu frames\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.frames_streamed()));
+  const auto snap = wait_for(client.get_snapshot());
+  if (snap.ok && snap.snapshot) {
+    std::printf("final snapshot: ego at (%.1f, %.1f), night=%s\n",
+                snap.snapshot->ego.state.position.x, snap.snapshot->ego.state.position.y,
+                snap.snapshot->weather.night ? "true" : "false");
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "core/config.hpp"
+
+namespace rdsim::core {
+
+RdsConfig RdsConfig::scaled_model_vehicle() {
+  RdsConfig cfg;
+  cfg.station.video_fps = 30.0;
+  cfg.station.display_latency_ms = 8.0;
+  cfg.station.command_rate_hz = 50.0;
+  // Smartphone-class camera link (§II.A, Liu et al.): smaller frames, still
+  // split into a couple of radio-sized packets.
+  cfg.video.frame_wire_bytes = 60000;
+  cfg.transport.mtu = 8000;        // radio-sized packets: 8 per frame
+  cfg.transport.window_segments = 32;  // small radio link buffer
+  cfg.vehicle = sim::VehicleParams::scaled_model_vehicle();
+  cfg.road_scale = 0.25;  // quarter-scale course to match the vehicle
+  return cfg;
+}
+
+}  // namespace rdsim::core

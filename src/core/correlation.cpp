@@ -1,0 +1,91 @@
+#include "core/correlation.hpp"
+
+#include <sstream>
+
+#include "metrics/srr.hpp"
+#include "metrics/ttc.hpp"
+#include "util/stats.hpp"
+
+namespace rdsim::core {
+
+std::vector<SubjectFeatures> extract_features(const CampaignResult& campaign) {
+  metrics::SrrAnalyzer srr;
+  metrics::TtcAnalyzer ttc;
+  std::vector<SubjectFeatures> out;
+  for (const SubjectResult* s : campaign.included()) {
+    SubjectFeatures f;
+    f.subject = s->profile.id;
+    f.gaming = s->profile.gaming_experience ? 1.0 : 0.0;
+    f.racing = s->profile.racing_game_experience ? 1.0 : 0.0;
+    f.station_experience = static_cast<double>(s->profile.station_experience);
+
+    const auto srr_g = srr.analyze(s->golden.trace);
+    const auto srr_f = srr.analyze(s->faulty.trace);
+    f.faulty_srr = srr_f.rate_per_min;
+    f.srr_increase = srr_f.rate_per_min - srr_g.rate_per_min;
+    f.faulty_collisions = static_cast<double>(s->faulty.trace.collisions.size());
+    const auto ttc_f = ttc.summarize(ttc.series(s->faulty.trace));
+    f.min_ttc_faulty = ttc_f.valid() ? ttc_f.min : 0.0;
+    f.qoe = s->faulty.qoe.score();
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<CorrelationRow> correlate(const CampaignResult& campaign) {
+  const auto features = extract_features(campaign);
+  struct Axis {
+    std::string name;
+    double SubjectFeatures::* member;
+  };
+  const Axis experience[] = {
+      {"gaming", &SubjectFeatures::gaming},
+      {"racing games", &SubjectFeatures::racing},
+      {"station experience", &SubjectFeatures::station_experience},
+  };
+  const Axis performance[] = {
+      {"faulty-run SRR", &SubjectFeatures::faulty_srr},
+      {"SRR increase", &SubjectFeatures::srr_increase},
+      {"faulty collisions", &SubjectFeatures::faulty_collisions},
+      {"min TTC (faulty)", &SubjectFeatures::min_ttc_faulty},
+      {"QoE", &SubjectFeatures::qoe},
+  };
+  std::vector<CorrelationRow> rows;
+  for (const Axis& e : experience) {
+    std::vector<double> xs;
+    for (const auto& f : features) xs.push_back(f.*(e.member));
+    for (const Axis& p : performance) {
+      std::vector<double> ys;
+      for (const auto& f : features) ys.push_back(f.*(p.member));
+      CorrelationRow row;
+      row.experience = e.name;
+      row.performance = p.name;
+      row.n = features.size();
+      row.r = util::pearson(xs, ys);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string render_correlations(const CampaignResult& campaign) {
+  std::ostringstream os;
+  os << "Experience vs performance correlations (Pearson r, n = "
+     << campaign.included().size() << " subjects)\n";
+  os << "  '-' means undefined: no variance in the experience feature,\n"
+     << "  which is exactly the homogeneity problem the paper reports.\n";
+  for (const auto& row : correlate(campaign)) {
+    os << "  " << row.experience << " x " << row.performance << ": ";
+    if (row.r) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%+.2f", *row.r);
+      os << buf;
+    } else {
+      os << "-";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rdsim::core

@@ -1,0 +1,52 @@
+// Questionnaire-performance correlation — the paper's second research
+// question (§III, §VII): how to use driving tests during the design phase.
+//
+// §V.G: "Answers from the questionnaire can be used to correlate the driving
+// performance with a RDS setup. For example, if experience with video games
+// positively correlates with better performance even in the presence of
+// faults, it could be used to influence the remote driver training." The
+// paper could not run this analysis (homogeneous subjects, limited time,
+// §VI.F); the testbed can.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace rdsim::core {
+
+/// Per-subject scalar features extracted from a campaign.
+struct SubjectFeatures {
+  std::string subject;
+  // Experience (questionnaire questions 1-3).
+  double gaming{0.0};             ///< 0/1
+  double racing{0.0};             ///< 0/1
+  double station_experience{0.0}; ///< 0..2
+  // Performance.
+  double faulty_srr{0.0};         ///< rev/min over the FI run
+  double srr_increase{0.0};       ///< FI minus NFI
+  double faulty_collisions{0.0};
+  double min_ttc_faulty{0.0};
+  double qoe{0.0};
+};
+
+std::vector<SubjectFeatures> extract_features(const CampaignResult& campaign);
+
+/// One correlation row: Pearson r between an experience feature and a
+/// performance feature across subjects; nullopt when degenerate (e.g. all
+/// subjects share the same experience level — the paper's situation).
+struct CorrelationRow {
+  std::string experience;
+  std::string performance;
+  std::optional<double> r;
+  std::size_t n{0};
+};
+
+std::vector<CorrelationRow> correlate(const CampaignResult& campaign);
+
+/// Human-readable report of the full correlation matrix.
+std::string render_correlations(const CampaignResult& campaign);
+
+}  // namespace rdsim::core

@@ -1,0 +1,31 @@
+// Teleoperation application protocol: the command message the operator
+// station sends to the vehicle subsystem, and stream-id assignments.
+#pragma once
+
+#include <optional>
+
+#include "net/packet.hpp"
+#include "net/serialization.hpp"
+#include "sim/types.hpp"
+
+namespace rdsim::core {
+
+/// Stream ids on the teleoperation channel.
+inline constexpr std::uint16_t kVideoStreamId = 1;
+inline constexpr std::uint16_t kCommandStreamId = 2;
+
+/// One driving command (steer / throttle / brake / reverse) stamped with the
+/// operator's send time and the id of the video frame the operator was
+/// looking at — the latter gives the vehicle subsystem its QoS estimate of
+/// how stale the operator's view is (§III.A, vehicle subsystem duties).
+struct CommandMsg {
+  std::uint32_t sequence{0};
+  sim::VehicleControl control{};
+  std::int64_t sent_at_us{0};
+  std::uint32_t based_on_frame{0};
+
+  net::Payload encode() const;
+  static std::optional<CommandMsg> decode(const net::Payload& bytes);
+};
+
+}  // namespace rdsim::core

@@ -1,0 +1,313 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rdsim::core::report {
+
+namespace {
+
+/// Merged [start, stop) windows in the faulty run during which the fault
+/// with `label` was active.
+std::vector<std::pair<double, double>> label_windows(const trace::RunTrace& run,
+                                                     const std::string& label) {
+  std::vector<std::pair<double, double>> out;
+  for (const auto& w : run.fault_windows()) {
+    if (w.label == label) out.emplace_back(w.start, w.stop);
+  }
+  return out;
+}
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace
+
+std::vector<std::string> fault_labels() { return {"5ms", "25ms", "50ms", "2%", "5%"}; }
+
+bool paper_missing_srr(const std::string& subject, bool faulty_run) {
+  if (!faulty_run) return subject == "T3";
+  return subject == "T8" || subject == "T10" || subject == "T12";
+}
+
+bool paper_missing_ttc(const std::string& subject) {
+  return subject == "T1" || subject == "T2" || subject == "T3" || subject == "T4";
+}
+
+std::string render_table1(const StationConfig& s) {
+  std::ostringstream os;
+  os << "TABLE I: Technical Specifications for Driving Station\n";
+  os << "  CPU and RAM      " << s.cpu_ram << "\n";
+  os << "  Monitor          " << s.monitor << "\n";
+  os << "  Input device     " << s.input_device << "\n";
+  os << "  GPU              " << s.gpu << "\n";
+  os << "  Operating system " << s.operating_system << "\n";
+  os << "  NVIDIA driver    " << s.nvidia_driver << "\n";
+  os << "  Video frame rate " << fmt(s.video_fps, 0) << " fps (25-30 as in the paper)\n";
+  os << "  Command rate     " << fmt(s.command_rate_hz, 0) << " Hz\n";
+  return os.str();
+}
+
+std::vector<FaultCountRow> fault_count_rows(const CampaignResult& campaign) {
+  std::vector<FaultCountRow> rows;
+  for (const SubjectResult* s : campaign.included()) {
+    FaultCountRow row;
+    row.subject = s->profile.id;
+    for (const std::string& label : fault_labels()) row.counts[label] = 0;
+    for (const trace::FaultRecord& f : s->faulty.trace.faults) {
+      if (f.added) {
+        ++row.counts[f.label];
+        ++row.total;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_table2(const CampaignResult& campaign) {
+  const auto rows = fault_count_rows(campaign);
+  const auto labels = fault_labels();
+  std::ostringstream os;
+  os << "TABLE II: Summary for Faults Injected (frequency per test)\n";
+  os << pad("Test", 6);
+  for (const auto& l : labels) os << pad(l, 7);
+  os << pad("Total", 7) << "\n";
+  std::map<std::string, int> totals;
+  int grand = 0;
+  for (const auto& row : rows) {
+    os << pad(row.subject, 6);
+    for (const auto& l : labels) {
+      const int c = row.counts.at(l);
+      totals[l] += c;
+      os << pad(std::to_string(c), 7);
+    }
+    grand += row.total;
+    os << pad(std::to_string(row.total), 7) << "\n";
+  }
+  os << pad("Total", 6);
+  for (const auto& l : labels) os << pad(std::to_string(totals[l]), 7);
+  os << pad(std::to_string(grand), 7) << "\n";
+  return os.str();
+}
+
+std::vector<TtcRow> ttc_rows(const CampaignResult& campaign,
+                             const metrics::TtcConfig& config) {
+  metrics::TtcAnalyzer analyzer{config};
+  std::vector<TtcRow> rows;
+  for (const SubjectResult* s : campaign.included()) {
+    TtcRow row;
+    row.subject = s->profile.id;
+
+    const auto golden_series = analyzer.series(s->golden.trace);
+    const auto g = analyzer.summarize(golden_series);
+    if (g.valid()) row.nfi = g;
+
+    const auto faulty_series = analyzer.series(s->faulty.trace);
+    for (const std::string& label : fault_labels()) {
+      metrics::TtcStats merged{};
+      util::RunningStats acc;
+      std::size_t violations = 0;
+      for (const auto& [start, stop] : label_windows(s->faulty.trace, label)) {
+        const auto st = analyzer.summarize_window(faulty_series, start, stop);
+        if (!st.valid()) continue;
+        // Merge via the series directly for exact stats.
+        for (const auto& sample : faulty_series) {
+          if (sample.t >= start && sample.t < stop) acc.add(sample.ttc);
+        }
+        violations += st.violations;
+      }
+      if (!acc.empty()) {
+        merged.samples = acc.count();
+        merged.min = acc.min();
+        merged.avg = acc.mean();
+        merged.max = acc.max();
+        merged.violations = violations;
+        row.cells[label] = merged;
+      } else {
+        row.cells[label] = std::nullopt;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_table3(const CampaignResult& campaign, bool mask_like_paper,
+                          const metrics::TtcConfig& config) {
+  const auto rows = ttc_rows(campaign, config);
+  const auto labels = fault_labels();
+  std::ostringstream os;
+  os << "TABLE III: Statistics for TTC (in sec)"
+     << (mask_like_paper ? "  [cells the paper could not record are hidden]" : "")
+     << "\n";
+  const char* sections[3] = {"Maximum TTC", "Average TTC", "Minimum TTC"};
+  for (int section = 0; section < 3; ++section) {
+    os << "-- " << sections[section] << " --\n";
+    os << pad("Test", 6) << pad("NFI", 8);
+    for (const auto& l : labels) os << pad(l, 8);
+    os << "\n";
+    for (const auto& row : rows) {
+      if (mask_like_paper && paper_missing_ttc(row.subject)) continue;
+      os << pad(row.subject, 6);
+      auto cell = [&](const std::optional<metrics::TtcStats>& st) {
+        if (!st) {
+          os << pad("-", 8);
+          return;
+        }
+        const double v = section == 0 ? st->max : (section == 1 ? st->avg : st->min);
+        os << pad(fmt(v), 8);
+      };
+      cell(row.nfi);
+      for (const auto& l : labels) cell(row.cells.at(l));
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::vector<SrrRow> srr_rows(const CampaignResult& campaign,
+                             const metrics::SrrConfig& config) {
+  metrics::SrrAnalyzer analyzer{config};
+  std::vector<SrrRow> rows;
+  for (const SubjectResult* s : campaign.included()) {
+    SrrRow row;
+    row.subject = s->profile.id;
+
+    const auto g = analyzer.analyze(s->golden.trace);
+    if (g.valid() && g.duration_s >= config.min_duration_s) row.nfi = g.rate_per_min;
+    const auto f = analyzer.analyze(s->faulty.trace);
+    if (f.valid() && f.duration_s >= config.min_duration_s) row.fi = f.rate_per_min;
+
+    double sum = 0.0;
+    int n = 0;
+    for (const std::string& label : fault_labels()) {
+      std::size_t reversals = 0;
+      double duration = 0.0;
+      for (const auto& [start, stop] : label_windows(s->faulty.trace, label)) {
+        const auto r = analyzer.analyze_window(s->faulty.trace, start, stop);
+        reversals += r.reversals;
+        duration += r.duration_s;
+      }
+      if (duration >= config.min_duration_s) {
+        const double rate = static_cast<double>(reversals) / (duration / 60.0);
+        row.cells[label] = rate;
+        sum += rate;
+        ++n;
+      } else {
+        row.cells[label] = std::nullopt;
+      }
+    }
+    if (n > 0) row.avg = sum / n;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_table4(const CampaignResult& campaign, bool mask_like_paper,
+                          const metrics::SrrConfig& config) {
+  const auto rows = srr_rows(campaign, config);
+  const auto labels = fault_labels();
+  std::ostringstream os;
+  os << "TABLE IV: Statistics for SRR (in reversals per minute)"
+     << (mask_like_paper ? "  [x = not recorded in the paper]" : "") << "\n";
+  os << pad("Test", 6) << pad("NFI", 7) << pad("FI", 7);
+  for (const auto& l : labels) os << pad(l, 7);
+  os << pad("Avg", 7) << "\n";
+
+  std::map<std::string, util::RunningStats> col_stats;
+  util::RunningStats nfi_stats, fi_stats, avg_stats;
+  for (const auto& row : rows) {
+    os << pad(row.subject, 6);
+    const bool mask_nfi = mask_like_paper && paper_missing_srr(row.subject, false);
+    const bool mask_fi = mask_like_paper && paper_missing_srr(row.subject, true);
+    auto cell = [&](const std::optional<double>& v, bool masked,
+                    util::RunningStats* acc) {
+      if (masked || !v) {
+        os << pad(masked ? "x" : "-", 7);
+        return;
+      }
+      if (acc != nullptr) acc->add(*v);
+      os << pad(fmt(*v, 1), 7);
+    };
+    cell(row.nfi, mask_nfi, &nfi_stats);
+    cell(row.fi, mask_fi, &fi_stats);
+    for (const auto& l : labels) cell(row.cells.at(l), mask_fi, &col_stats[l]);
+    cell(row.avg, mask_fi, &avg_stats);
+    os << "\n";
+  }
+  os << pad("Avg", 6) << pad(nfi_stats.empty() ? "-" : fmt(nfi_stats.mean(), 2), 7)
+     << pad(fi_stats.empty() ? "-" : fmt(fi_stats.mean(), 2), 7);
+  for (const auto& l : labels) {
+    os << pad(col_stats[l].empty() ? "-" : fmt(col_stats[l].mean(), 2), 7);
+  }
+  os << pad(avg_stats.empty() ? "-" : fmt(avg_stats.mean(), 2), 7) << "\n";
+  return os.str();
+}
+
+CollisionSummary collision_summary(const CampaignResult& campaign) {
+  CollisionSummary sum;
+  const auto included = campaign.included();
+  sum.included_subjects = included.size();
+  for (const SubjectResult* s : included) {
+    const auto golden = metrics::analyze_collisions(s->golden.trace);
+    const auto faulty = metrics::analyze_collisions(s->faulty.trace);
+    if (golden.any()) ++sum.golden_subjects_collided;
+    if (faulty.any()) ++sum.faulty_subjects_collided;
+    sum.golden_total_collisions += golden.total;
+    sum.faulty_total_collisions += faulty.total;
+    for (const auto& [label, count] : faulty.by_fault_label()) {
+      sum.faulty_by_label[label] += count;
+    }
+  }
+  return sum;
+}
+
+std::string render_collision_analysis(const CampaignResult& campaign) {
+  const CollisionSummary sum = collision_summary(campaign);
+  std::ostringstream os;
+  os << "Collision analysis (sec. VI.E)\n";
+  os << "  participants analysed:            " << sum.included_subjects << "\n";
+  os << "  collided in golden run:           " << sum.golden_subjects_collided << " of "
+     << sum.included_subjects << "\n";
+  os << "  collided in faulty run:           " << sum.faulty_subjects_collided << " of "
+     << sum.included_subjects << "\n";
+  os << "  total collisions golden / faulty: " << sum.golden_total_collisions << " / "
+     << sum.faulty_total_collisions << "\n";
+  os << "  faulty-run collisions by active fault:\n";
+  for (const auto& [label, count] : sum.faulty_by_label) {
+    os << "    " << pad(label, 6) << count << "\n";
+  }
+  return os.str();
+}
+
+std::string render_questionnaire(const CampaignResult& campaign) {
+  std::vector<QuestionnaireResponse> responses;
+  for (const SubjectResult* s : campaign.included()) {
+    responses.push_back(s->questionnaire);
+  }
+  const QuestionnaireSummary sum = summarize(responses);
+  std::ostringstream os;
+  os << "Questionnaire summary (sec. VI.F), " << sum.respondents << " respondents\n";
+  os << "  1) gaming experience:        " << sum.gaming << " (recent: " << sum.recent_gaming
+     << ")\n";
+  os << "  2) car-racing games:         " << sum.racing << "\n";
+  os << "  3) no driving-station exp.:  " << sum.no_station_experience
+     << " (a few times: " << sum.station_few_times << ", once: " << sum.station_once
+     << ")\n";
+  os << "  4) QoE of faulty run:        mean " << fmt(sum.mean_qoe) << ", min "
+     << fmt(sum.min_qoe, 0) << ", max " << fmt(sum.max_qoe, 0) << "\n";
+  os << "  5) virtual testing useful:   " << sum.virtual_testing_useful << "\n";
+  os << "  6) felt the faults:          " << sum.felt_difference << "\n";
+  return os.str();
+}
+
+}  // namespace rdsim::core::report

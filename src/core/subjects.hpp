@@ -1,0 +1,70 @@
+// Test subjects T1..T12 and the post-test questionnaire (§V.E.3, §VI.F).
+//
+// The paper recruited 12 RISE employees; subject diversity shows up in the
+// questionnaire (10/11 with gaming experience, 9/11 with racing games, 6
+// with no prior driving-station exposure) and in the data (T7 excluded for
+// a left-hand-driving habit; two subjects collided even in the golden run).
+// We substitute that population with parameter diversity: each subject's
+// driver-model parameters are drawn deterministically from a per-subject
+// seed, with experience attributes that shift skill the way the paper's
+// discussion suggests (gaming experience -> faster reaction, steadier hand).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+
+namespace rdsim::core {
+
+struct SubjectProfile {
+  std::string id;                 ///< "T1".."T12"
+  int index{0};                   ///< 1..12
+  DriverParams driver{};
+  std::uint64_t seed{0};          ///< per-subject RNG stream
+
+  // Questionnaire ground truth (§V.E.3 questions 1-3).
+  bool gaming_experience{true};
+  bool recent_gaming{false};
+  bool racing_game_experience{true};
+  int station_experience{0};      ///< 0 = none, 1 = once, 2 = a few times
+  bool left_hand_driving{false};  ///< T7
+
+  /// Excluded from analysis, as the paper excluded T7 (§VI.A).
+  bool excluded() const { return left_hand_driving; }
+};
+
+/// The experiment roster. Deterministic in `campaign_seed`.
+std::vector<SubjectProfile> make_roster(std::uint64_t campaign_seed = 20230612);
+
+/// Questionnaire answers for one subject after the test (§V.E.3).
+struct QuestionnaireResponse {
+  std::string subject;
+  bool q1_gaming{false};
+  bool q1_recent{false};
+  bool q2_racing{false};
+  int q3_station_experience{0};
+  double q4_qoe{3.0};            ///< 1..5, second run vs first
+  bool q5_virtual_testing_useful{true};
+  bool q6_felt_difference{false};
+};
+
+/// Aggregate summary matching the §VI.F bullet list.
+struct QuestionnaireSummary {
+  std::size_t respondents{0};
+  std::size_t gaming{0};
+  std::size_t recent_gaming{0};
+  std::size_t racing{0};
+  std::size_t no_station_experience{0};
+  std::size_t station_few_times{0};
+  std::size_t station_once{0};
+  double mean_qoe{0.0};
+  double min_qoe{0.0};
+  double max_qoe{0.0};
+  std::size_t virtual_testing_useful{0};
+  std::size_t felt_difference{0};
+};
+
+QuestionnaireSummary summarize(const std::vector<QuestionnaireResponse>& responses);
+
+}  // namespace rdsim::core

@@ -1,0 +1,184 @@
+#include "core/teleop.hpp"
+
+#include "sim/frame.hpp"
+
+namespace rdsim::core {
+
+namespace {
+
+DriverParams with_station_latencies(DriverParams d, const StationConfig& station) {
+  // Input-device latency adds dead time between the driver's hand and the
+  // client sampling it; fold it into the perception-action dead time (the
+  // display latency is modelled explicitly in OperatorSubsystem::on_frame).
+  d.reaction_time_s += station.input_latency_ms / 1e3;
+  return d;
+}
+
+}  // namespace
+
+TeleopSession::TeleopSession(RunConfig config, sim::Scenario scenario)
+    : config_{std::move(config)},
+      tc_{config_.seed},
+      channel_{tc_, config_.rds.device},
+      router_{channel_},
+      injector_{tc_, config_.rds.device},
+      vehicle_{config_.rds, std::move(scenario), config_.safety, config_.seed},
+      recorder_{config_.run_id, config_.subject_id, config_.fault_injected,
+                config_.rds.log_hz} {
+  const auto& rds = config_.rds;
+  if (rds.datagram_video) {
+    video_dgram_ = std::make_unique<net::DatagramSocket>(
+        router_, channel_, kVideoStreamId, net::LinkDirection::kDownlink);
+  } else {
+    video_stream_ = std::make_unique<net::ReliableStream>(
+        router_, channel_, kVideoStreamId, net::LinkDirection::kDownlink, rds.transport);
+  }
+  if (rds.datagram_commands) {
+    command_dgram_ = std::make_unique<net::DatagramSocket>(
+        router_, channel_, kCommandStreamId, net::LinkDirection::kUplink);
+  } else {
+    command_stream_ = std::make_unique<net::ReliableStream>(
+        router_, channel_, kCommandStreamId, net::LinkDirection::kUplink, rds.transport);
+  }
+
+  operator_ = std::make_unique<OperatorSubsystem>(
+      rds.station,
+      DriverModel{with_station_latencies(config_.driver, rds.station),
+                  &vehicle_.runtime().scenario(), &vehicle_.world().road(),
+                  util::Random{config_.seed, 0x647269766572ULL}});
+
+  comms_dt_ = util::Duration::seconds(1.0 / rds.comms_hz);
+  physics_dt_ = util::Duration::seconds(1.0 / rds.physics_hz);
+  next_physics_ = clock_.now();
+}
+
+void TeleopSession::update_fault_plan() {
+  const double s = vehicle_.runtime().ego_s();
+  const sim::Scenario& scenario = vehicle_.runtime().scenario();
+
+  // Find the planned assignment whose POI contains the ego position.
+  std::optional<std::size_t> due;
+  for (std::size_t i = 0; i < config_.plan.size(); ++i) {
+    for (const sim::PoiWindow& poi : scenario.pois) {
+      if (poi.name == config_.plan[i].poi && s >= poi.from_s && s < poi.to_s) {
+        due = i;
+        break;
+      }
+    }
+    if (due) break;
+  }
+
+  if (due != active_assignment_) {
+    if (active_assignment_ && injector_.active()) injector_.remove(clock_.now());
+    if (due) injector_.inject(config_.plan[*due].fault, clock_.now());
+    active_assignment_ = due;
+  }
+}
+
+void TeleopSession::pump_video(util::TimePoint now) {
+  if (auto frame = vehicle_.maybe_encode_frame(now)) {
+    if (video_stream_) {
+      if (video_stream_->send_backlog() > config_.rds.video.sender_backlog_limit) {
+        ++frames_skipped_sender_;  // transport is behind: drop, don't queue
+      } else {
+        video_stream_->send_message(std::move(frame->payload), frame->wire_size, now);
+      }
+    } else {
+      video_dgram_->send(std::move(frame->payload), frame->wire_size, now);
+    }
+  }
+  if (video_stream_) {
+    video_stream_->step(now);
+    while (auto msg = video_stream_->pop_delivered()) {
+      if (auto decoded = sim::WorldFrame::decode(msg->bytes)) {
+        operator_->on_frame(*decoded, now);
+      }
+    }
+  } else {
+    while (auto msg = video_dgram_->receive_latest()) {
+      if (auto decoded = sim::WorldFrame::decode(msg->bytes)) {
+        operator_->on_frame(*decoded, now);
+      }
+    }
+  }
+}
+
+void TeleopSession::pump_commands(util::TimePoint now) {
+  if (auto cmd = operator_->poll(now)) {
+    if (command_stream_) {
+      command_stream_->send_message(cmd->encode(),
+                                    config_.rds.video.command_wire_bytes, now);
+    } else {
+      command_dgram_->send(cmd->encode(), config_.rds.video.command_wire_bytes, now);
+    }
+  }
+  if (command_stream_) {
+    command_stream_->step(now);
+    while (auto msg = command_stream_->pop_delivered()) {
+      if (auto decoded = CommandMsg::decode(msg->bytes)) {
+        vehicle_.on_command(*decoded, now);
+      }
+    }
+  } else {
+    while (auto msg = command_dgram_->receive_latest()) {
+      if (auto decoded = CommandMsg::decode(msg->bytes)) {
+        vehicle_.on_command(*decoded, now);
+      }
+    }
+  }
+}
+
+bool TeleopSession::step() {
+  if (finished_) return false;
+  const util::TimePoint now = clock_.now();
+
+  // Physics sub-steps due at this tick.
+  while (next_physics_ <= now) {
+    vehicle_.step_physics(physics_dt_.to_seconds());
+    recorder_.step(vehicle_.world());
+    next_physics_ += physics_dt_;
+  }
+
+  update_fault_plan();
+  injector_.step(now);
+
+  pump_video(now);
+  router_.poll(now);
+  pump_commands(now);
+
+  clock_.advance(comms_dt_);
+
+  if (vehicle_.runtime().complete() || vehicle_.runtime().timed_out()) {
+    if (injector_.active()) injector_.remove(clock_.now());
+    finished_ = true;
+    return false;
+  }
+  return true;
+}
+
+RunResult TeleopSession::run() {
+  while (step()) {
+  }
+  recorder_.ingest_fault_log(injector_.log());
+
+  RunResult result;
+  result.completed = vehicle_.runtime().complete();
+  result.timed_out = vehicle_.runtime().timed_out();
+  result.duration_s = clock_.now().to_seconds();
+  result.qoe = operator_->qoe();
+  if (video_stream_) result.video_stats = video_stream_->stats();
+  if (command_stream_) result.command_stats = command_stream_->stats();
+  result.mean_downlink_latency_ms =
+      channel_.stats(net::LinkDirection::kDownlink).mean_latency_ms();
+  result.mean_uplink_latency_ms =
+      channel_.stats(net::LinkDirection::kUplink).mean_latency_ms();
+  result.frames_encoded = vehicle_.frames_encoded();
+  result.frames_displayed = operator_->frames_displayed();
+  result.frames_skipped_sender = frames_skipped_sender_;
+  result.safety_activations = vehicle_.safety_activations();
+  result.faults_injected = injector_.injections();
+  result.trace = recorder_.take();
+  return result;
+}
+
+}  // namespace rdsim::core

@@ -1,0 +1,55 @@
+#include "core/training.hpp"
+
+#include <cmath>
+
+#include "metrics/srr.hpp"
+
+namespace rdsim::core {
+
+TrainingResult run_training(const SubjectProfile& profile, const TrainingConfig& config) {
+  const double minutes = util::clamp(config.minutes, 3.0, 5.0);  // §V.E.1 bounds
+
+  // The training drive itself: free driving in the empty town. The subject
+  // drives with their *pre-training* parameters; what we observe here is the
+  // unadapted behaviour.
+  TrainingResult result;
+  {
+    RunConfig rc;
+    rc.run_id = profile.id + "-training";
+    rc.subject_id = profile.id;
+    rc.driver = profile.driver;
+    rc.rds = config.rds;
+    rc.seed = profile.seed ^ 0x747261696eULL;
+    sim::Scenario scenario = sim::make_training_scenario();
+    scenario.time_limit_s = minutes * 60.0;
+    TeleopSession session{std::move(rc), scenario};
+    result.run = session.run();
+  }
+
+  // Familiarization: exponential approach to the trainable asymptote.
+  result.improvement = 1.0 - std::exp(-minutes / config.adaptation_tau_min);
+
+  result.adapted = profile;
+  DriverParams& d = result.adapted.driver;
+  d.steer_noise *= 1.0 - config.noise_trainable * result.improvement;
+  d.reaction_time_s *= 1.0 - config.reaction_trainable * result.improvement;
+  // Prior station experience means less left to learn: the adaptation only
+  // closes the gap the subject actually had.
+  const double prior = 0.25 * static_cast<double>(profile.station_experience);
+  d.steer_noise = profile.driver.steer_noise * prior +
+                  d.steer_noise * (1.0 - prior);
+  d.reaction_time_s = profile.driver.reaction_time_s * prior +
+                      d.reaction_time_s * (1.0 - prior);
+
+  // Observable familiarization curve from the training trace.
+  metrics::SrrAnalyzer srr;
+  const double dur = result.run.trace.duration_s();
+  if (dur > 30.0) {
+    result.early_srr = srr.analyze_window(result.run.trace, 0.0, dur / 3.0).rate_per_min;
+    result.late_srr =
+        srr.analyze_window(result.run.trace, 2.0 * dur / 3.0, dur).rate_per_min;
+  }
+  return result;
+}
+
+}  // namespace rdsim::core

@@ -1,0 +1,40 @@
+// Training step (§V.E.1): every subject drives freely for three to five
+// minutes in an empty town before the measured runs, to get familiar with
+// the driving station — "especially the sensitivity of the steering wheel
+// and the pedals".
+//
+// The model: familiarization shrinks the operator's motor noise and
+// perception-action dead time toward an asymptote with a ~2-minute time
+// constant. The returned profile is what the measured runs should use; the
+// training trace itself is also returned so the familiarization curve can be
+// inspected (SRR decreasing over the training drive).
+#pragma once
+
+#include "core/teleop.hpp"
+
+namespace rdsim::core {
+
+struct TrainingConfig {
+  double minutes{4.0};            ///< §V.E.1: minimum 3, maximum 5
+  double adaptation_tau_min{2.0}; ///< familiarization time constant
+  /// Fractions of each parameter that training can remove at the asymptote.
+  double noise_trainable{0.25};
+  double reaction_trainable{0.12};
+  RdsConfig rds{};
+};
+
+struct TrainingResult {
+  SubjectProfile adapted;          ///< profile with post-training parameters
+  RunResult run;                   ///< the free-drive session
+  double improvement{0.0};         ///< fraction of trainable gap closed
+  /// SRR over the first and last thirds of the training drive; a decreasing
+  /// pair is the observable signature of familiarization.
+  double early_srr{0.0};
+  double late_srr{0.0};
+};
+
+/// Run the §V.E.1 training session for one subject. Deterministic.
+TrainingResult run_training(const SubjectProfile& profile,
+                            const TrainingConfig& config = {});
+
+}  // namespace rdsim::core

@@ -1,0 +1,85 @@
+// Vehicle subsystem (§III.A): owns the simulated world, renders video
+// frames for the operator, applies received driving commands, and tracks
+// the QoS information (command age) that safety measures can act on.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace rdsim::core {
+
+/// Optional safety measure evaluated in the ablation benches. The paper's
+/// test setup deliberately ran *without* any such measure (§I: "a test setup
+/// without any safety measures to counteract network disturbances"); this
+/// hook is the "design loop" extension the methodology is meant to support:
+/// when the vehicle has not received a fresh command for `max_command_age`,
+/// it ramps in autonomous braking until contact with the operator resumes.
+struct SafetyMonitorConfig {
+  bool enabled{false};
+  double max_command_age_s{0.35};
+  double brake_level{0.6};
+  double speed_cap_mps{4.0};  ///< degraded-mode crawl speed
+};
+
+class VehicleSubsystem {
+ public:
+  VehicleSubsystem(const RdsConfig& config, sim::Scenario scenario,
+                   SafetyMonitorConfig safety = {}, std::uint64_t seed = 1);
+
+  sim::World& world() { return world_; }
+  const sim::World& world() const { return world_; }
+  sim::ScenarioRuntime& runtime() { return runtime_; }
+  const sim::ScenarioRuntime& runtime() const { return runtime_; }
+
+  /// Advance physics by dt. The currently latched command keeps acting.
+  void step_physics(double dt);
+
+  /// If a video frame is due at `now`, encode it. Frame cadence follows the
+  /// configured fps with the 25-30 fps jitter the paper reports.
+  struct EncodedFrame {
+    net::Payload payload;
+    std::uint32_t wire_size{0};
+  };
+  std::optional<EncodedFrame> maybe_encode_frame(util::TimePoint now);
+
+  /// Apply a received command (latest-wins by sequence number).
+  void on_command(const CommandMsg& msg, util::TimePoint now);
+
+  /// Seconds since the newest applied command was *sent* by the operator —
+  /// the vehicle's QoS view of the uplink (§III.A).
+  double command_age_s(util::TimePoint now) const;
+
+  std::uint64_t frames_encoded() const { return frames_encoded_; }
+  std::uint64_t commands_applied() const { return commands_applied_; }
+  std::uint64_t commands_stale() const { return commands_stale_; }
+  std::uint64_t safety_activations() const { return safety_activations_; }
+  bool safety_engaged() const { return safety_engaged_; }
+
+ private:
+  void apply_safety(util::TimePoint now);
+
+  RdsConfig config_;
+  SafetyMonitorConfig safety_;
+  sim::World world_;
+  sim::ScenarioRuntime runtime_;
+  util::Random rng_;
+
+  util::TimePoint next_frame_{};
+  std::uint64_t frames_encoded_{0};
+
+  std::uint32_t last_command_seq_{0};
+  bool any_command_{false};
+  std::int64_t last_command_sent_us_{0};
+  sim::VehicleControl latched_control_{};
+  std::uint64_t commands_applied_{0};
+  std::uint64_t commands_stale_{0};
+
+  bool safety_engaged_{false};
+  std::uint64_t safety_activations_{0};
+};
+
+}  // namespace rdsim::core

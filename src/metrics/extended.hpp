@@ -1,0 +1,79 @@
+// Extended driving-performance metrics.
+//
+// §II.B of the paper surveys a catalogue of candidate metrics beyond TTC and
+// SRR — Jahangirova et al.'s statistical measures, SAE J2944's lateral
+// measures, steering entropy as a workload proxy — and §VII explicitly asks
+// for more metrics in future work. This module implements the commonly used
+// ones so the testbed can evaluate which metrics separate faulty from golden
+// runs best:
+//
+//   SDLP              standard deviation of lane position (lateral control)
+//   steering entropy  Nakayama et al.'s unpredictability-of-steering measure
+//   brake reaction    delay from a lead's brake onset to the ego's brake
+//   THW distribution  time-headway histogram vs the 2 s European rule
+#pragma once
+
+#include "metrics/ttc.hpp"
+#include "sim/road.hpp"
+
+namespace rdsim::metrics {
+
+/// Standard deviation of lane position, computed by projecting the ego path
+/// onto the road and measuring the offset from the *nearest lane centre*
+/// (instructed lane changes would otherwise dominate the figure).
+struct SdlpResult {
+  std::size_t samples{0};
+  double sdlp_m{0.0};
+  double mean_abs_offset_m{0.0};
+  bool valid() const { return samples >= 10; }
+};
+SdlpResult lane_position_deviation(const trace::RunTrace& run,
+                                   const sim::RoadNetwork& road,
+                                   double start = -1e300, double stop = 1e300);
+
+/// Steering entropy (Nakayama/Boer): how poorly a second-order predictor
+/// anticipates the next steering sample, binned into a 9-bin histogram
+/// around the prediction-error scale alpha. As in the original method,
+/// alpha is calibrated on a *baseline* (golden) run and then held fixed
+/// when scoring disturbed runs — that is what makes entropy rise under
+/// workload. Pass `baseline_alpha` = 0 to self-calibrate (shape-only).
+struct SteeringEntropyResult {
+  double entropy{0.0};   ///< in [0, ~3.17] bits (log2 of 9 bins)
+  double alpha{0.0};     ///< the alpha actually used, steer fraction
+  std::size_t samples{0};
+  bool valid() const { return samples >= 50; }
+};
+SteeringEntropyResult steering_entropy(const trace::RunTrace& run,
+                                       double baseline_alpha = 0.0,
+                                       double start = -1e300, double stop = 1e300);
+
+/// The 90th-percentile prediction error of a run — the alpha to feed into
+/// steering_entropy() for its disturbed counterparts.
+double steering_entropy_alpha(const trace::RunTrace& run,
+                              double start = -1e300, double stop = 1e300);
+
+/// Brake-reaction events: for every episode where a followed lead starts
+/// braking hard (decel beyond `onset_decel`), the time until the ego's brake
+/// pedal exceeds `pedal_threshold`.
+struct BrakeReaction {
+  double lead_onset_t{0.0};
+  double ego_response_t{0.0};
+  double reaction_s{0.0};
+};
+std::vector<BrakeReaction> brake_reactions(const trace::RunTrace& run,
+                                           double onset_decel = 2.0,
+                                           double pedal_threshold = 0.15,
+                                           double max_window_s = 4.0);
+
+/// Time-headway histogram against the followed lead.
+struct HeadwayDistribution {
+  std::size_t samples{0};
+  double below_1s{0.0};   ///< fractions
+  double below_2s{0.0};
+  double median_s{0.0};
+  bool valid() const { return samples >= 10; }
+};
+HeadwayDistribution headway_distribution(const trace::RunTrace& run,
+                                         const TtcConfig& config = {});
+
+}  // namespace rdsim::metrics

@@ -1,0 +1,134 @@
+#include "metrics/safety.hpp"
+
+#include <cmath>
+
+namespace rdsim::metrics {
+
+std::map<std::string, std::size_t> CollisionAnalysis::by_fault_label() const {
+  std::map<std::string, std::size_t> out;
+  for (const AttributedCollision& c : collisions) {
+    out[c.fault_active ? c.fault_label : std::string{"none"}]++;
+  }
+  return out;
+}
+
+CollisionAnalysis analyze_collisions(const trace::RunTrace& run) {
+  CollisionAnalysis out;
+  const auto windows = run.fault_windows();
+  for (const trace::CollisionRecord& rec : run.collisions) {
+    AttributedCollision ac;
+    ac.record = rec;
+    for (const auto& w : windows) {
+      // A crash shortly after a fault window is still attributed to it: the
+      // disturbance's effect (bad position, speed) outlives the rule.
+      if (rec.t >= w.start && rec.t < w.stop + 2.0) {
+        ac.fault_active = true;
+        ac.fault_type = w.fault_type;
+        ac.fault_value = w.value;
+        ac.fault_label = w.label;
+      }
+    }
+    out.collisions.push_back(std::move(ac));
+  }
+  out.total = out.collisions.size();
+  return out;
+}
+
+HeadwayStats analyze_headway(const trace::RunTrace& run, const TtcConfig& config) {
+  // Reuse the TTC lead-pairing logic but divide gap by ego speed.
+  std::multimap<std::int64_t, const trace::OtherSample*> by_time;
+  for (const trace::OtherSample& o : run.others) {
+    by_time.emplace(static_cast<std::int64_t>(std::llround(o.t * 1e6)), &o);
+  }
+  util::RunningStats stats;
+  std::size_t below = 0;
+  for (const trace::EgoSample& e : run.ego) {
+    const double ego_speed = std::hypot(e.vx, e.vy);
+    if (ego_speed < 0.5) continue;
+    const double hx = e.vx / ego_speed;
+    const double hy = e.vy / ego_speed;
+    const auto key = static_cast<std::int64_t>(std::llround(e.t * 1e6));
+    const auto [lo, hi] = by_time.equal_range(key);
+    std::optional<double> nearest_gap;
+    for (auto it = lo; it != hi; ++it) {
+      const trace::OtherSample& o = *it->second;
+      const double dx = o.x - e.x;
+      const double dy = o.y - e.y;
+      const double ahead = dx * hx + dy * hy;
+      const double lateral = -dx * hy + dy * hx;
+      if (ahead <= 0.0 || ahead > config.max_distance_m) continue;
+      if (std::fabs(lateral) > config.max_lateral_m) continue;
+      const double gap = std::max(ahead - config.length_correction_m, 0.1);
+      if (!nearest_gap || gap < *nearest_gap) nearest_gap = gap;
+    }
+    if (nearest_gap) {
+      const double headway = *nearest_gap / ego_speed;
+      stats.add(headway);
+      if (headway < 2.0) ++below;
+    }
+  }
+  HeadwayStats out;
+  out.samples = stats.count();
+  if (!stats.empty()) {
+    out.min = stats.min();
+    out.avg = stats.mean();
+    out.below_2s_fraction = static_cast<double>(below) / static_cast<double>(out.samples);
+  }
+  return out;
+}
+
+double time_exposed_ttc(const std::vector<TtcSample>& series, double threshold_s,
+                        double sample_interval_s) {
+  double tet = 0.0;
+  for (const TtcSample& s : series) {
+    if (s.ttc > 0.0 && s.ttc < threshold_s) tet += sample_interval_s;
+  }
+  return tet;
+}
+
+DrivingStats analyze_driving(const trace::RunTrace& run, double start, double stop) {
+  DrivingStats out;
+  bool braking = false;
+  const trace::EgoSample* prev = nullptr;
+  for (const trace::EgoSample& e : run.ego) {
+    if (e.t < start || e.t >= stop) continue;
+    const double speed = std::hypot(e.vx, e.vy);
+    out.speed.add(speed);
+    if (prev != nullptr && speed > 0.1) {
+      // Longitudinal acceleration projected on the direction of travel.
+      const double along = (e.ax * e.vx + e.ay * e.vy) / speed;
+      out.accel_long.add(along);
+    }
+    out.throttle.add(e.throttle);
+    out.brake.add(e.brake);
+    const bool now_braking = e.brake > 0.1;
+    if (now_braking && !braking) ++out.brake_applications;
+    braking = now_braking;
+    prev = &e;
+  }
+  for (const trace::LaneInvasionRecord& l : run.lane_invasions) {
+    if (l.t < start || l.t >= stop) continue;
+    ++out.lane_invasions;
+    if (l.marking == "solid") ++out.solid_line_invasions;
+  }
+  return out;
+}
+
+std::optional<double> traversal_time(const trace::RunTrace& run, double dist_from,
+                                     double dist_to) {
+  if (run.ego.size() < 2 || dist_to <= dist_from) return std::nullopt;
+  double travelled = 0.0;
+  std::optional<double> t_enter;
+  for (std::size_t i = 1; i < run.ego.size(); ++i) {
+    const auto& a = run.ego[i - 1];
+    const auto& b = run.ego[i];
+    travelled += std::hypot(b.x - a.x, b.y - a.y);
+    if (!t_enter && travelled >= dist_from) t_enter = b.t;
+    if (travelled >= dist_to) {
+      return b.t - t_enter.value_or(run.ego.front().t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdsim::metrics

@@ -1,0 +1,69 @@
+// Collision analysis and the paper's "other metrics" (§VI.E): lane
+// invasions, headway time, Time Exposed TTC (TET), and speed/acceleration
+// statistics.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "metrics/ttc.hpp"
+
+namespace rdsim::metrics {
+
+/// Attribution of a collision to the fault that was active when it happened
+/// ("only two types of faults led to crashes: 50 ms delay and 5 % loss").
+struct AttributedCollision {
+  trace::CollisionRecord record{};
+  bool fault_active{false};
+  std::string fault_type;   ///< empty if no fault active
+  double fault_value{0.0};
+  std::string fault_label;
+};
+
+struct CollisionAnalysis {
+  std::size_t total{0};
+  std::vector<AttributedCollision> collisions;
+
+  bool any() const { return total > 0; }
+  /// Count per fault label ("50ms", "5%", ...); key "none" = no fault active.
+  std::map<std::string, std::size_t> by_fault_label() const;
+};
+
+CollisionAnalysis analyze_collisions(const trace::RunTrace& run);
+
+/// Headway time: bumper gap / ego speed, same lead-selection rules as TTC.
+struct HeadwayStats {
+  std::size_t samples{0};
+  double min{0.0};
+  double avg{0.0};
+  /// Fraction of samples below the European two-second rule (§II.B / [14]).
+  double below_2s_fraction{0.0};
+  bool valid() const { return samples > 0; }
+};
+HeadwayStats analyze_headway(const trace::RunTrace& run, const TtcConfig& config = {});
+
+/// Time Exposed TTC: seconds spent with 0 < TTC < threshold.
+double time_exposed_ttc(const std::vector<TtcSample>& series, double threshold_s,
+                        double sample_interval_s);
+
+/// Speed / acceleration / pedal statistics over a run or window.
+struct DrivingStats {
+  util::RunningStats speed;
+  util::RunningStats accel_long;
+  util::RunningStats throttle;
+  util::RunningStats brake;
+  std::size_t brake_applications{0};  ///< rising edges of the brake pedal
+  std::size_t lane_invasions{0};
+  std::size_t solid_line_invasions{0};
+};
+DrivingStats analyze_driving(const trace::RunTrace& run,
+                             double start = -1e300, double stop = 1e300);
+
+/// Duration the ego needed to traverse [s_from, s_to] along its own path —
+/// used for the Fig. 4 observation that manoeuvres take longer under faults.
+/// Returns nullopt if the run never covers the interval. Positions are
+/// measured as cumulative travelled distance.
+std::optional<double> traversal_time(const trace::RunTrace& run, double dist_from,
+                                     double dist_to);
+
+}  // namespace rdsim::metrics

@@ -1,0 +1,86 @@
+#include "metrics/srr.hpp"
+
+#include <cmath>
+
+#include "util/filters.hpp"
+
+namespace rdsim::metrics {
+
+SrrResult SrrAnalyzer::analyze(const trace::RunTrace& run) const {
+  return analyze_series(run.time_series(), run.steering_series());
+}
+
+SrrResult SrrAnalyzer::analyze_window(const trace::RunTrace& run, double start,
+                                      double stop) const {
+  std::vector<double> t;
+  std::vector<double> steer;
+  for (const trace::EgoSample& s : run.ego) {
+    if (s.t >= start && s.t < stop) {
+      t.push_back(s.t);
+      steer.push_back(s.steer);
+    }
+  }
+  return analyze_series(t, steer);
+}
+
+SrrResult SrrAnalyzer::analyze_series(const std::vector<double>& t,
+                                      const std::vector<double>& steer_fraction) const {
+  SrrResult result;
+  if (t.size() < 3 || t.size() != steer_fraction.size()) return result;
+  result.duration_s = t.back() - t.front();
+  if (result.duration_s < config_.min_duration_s) {
+    // Too short to yield a meaningful rate; report zero but keep duration.
+    return result;
+  }
+  const double dt = result.duration_s / static_cast<double>(t.size() - 1);
+  if (dt <= 0.0) return result;
+  const double fs = 1.0 / dt;
+  if (config_.cutoff_hz >= fs / 2.0) return result;
+
+  // 1. Convert to wheel degrees and low-pass (zero phase so reversal timing
+  //    is unbiased).
+  std::vector<double> wheel(steer_fraction.size());
+  for (std::size_t i = 0; i < wheel.size(); ++i) {
+    wheel[i] = steer_fraction[i] * config_.wheel_range_deg;
+  }
+  util::ButterworthLowPass lp{config_.cutoff_hz, fs};
+  const std::vector<double> smooth = lp.filtfilt(wheel);
+
+  // 2. Stationary points: indices where the first difference changes sign
+  //    (plateaus collapse to their last index).
+  std::vector<std::size_t> stationary;
+  stationary.push_back(0);
+  int prev_sign = 0;
+  for (std::size_t i = 1; i < smooth.size(); ++i) {
+    const double d = smooth[i] - smooth[i - 1];
+    const int sign = d > 0.0 ? 1 : (d < 0.0 ? -1 : 0);
+    if (sign != 0 && prev_sign != 0 && sign != prev_sign) {
+      stationary.push_back(i - 1);
+    }
+    if (sign != 0) prev_sign = sign;
+  }
+  stationary.push_back(smooth.size() - 1);
+
+  // 3. Count reversals: walk the stationary values; each swing of at least
+  //    threshold degrees whose direction opposes the previous counted swing
+  //    is one reversal (J2944 "gap" criterion).
+  std::size_t reversals = 0;
+  double anchor = smooth[stationary.front()];
+  int last_dir = 0;
+  for (std::size_t k = 1; k < stationary.size(); ++k) {
+    const double v = smooth[stationary[k]];
+    const double swing = v - anchor;
+    if (std::fabs(swing) >= config_.threshold_deg) {
+      const int dir = swing > 0.0 ? 1 : -1;
+      if (last_dir != 0 && dir != last_dir) ++reversals;
+      last_dir = dir;
+      anchor = v;
+    }
+  }
+
+  result.reversals = reversals;
+  result.rate_per_min = static_cast<double>(reversals) / (result.duration_s / 60.0);
+  return result;
+}
+
+}  // namespace rdsim::metrics

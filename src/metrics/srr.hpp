@@ -1,0 +1,53 @@
+// Steering Reversal Rate (SRR), the paper's lateral safety metric (§V.G.2).
+//
+// Implements the SAE J2944 algorithm the paper cites: low-pass filter the
+// steering-wheel angle, locate the stationary points of the filtered signal,
+// and count a reversal whenever the wheel swings by more than a threshold
+// angle in one direction and then back within the observation window. The
+// rate is reported in reversals per minute. Higher SRR indicates a
+// distracted or disturbed driver (§VI.D).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace rdsim::metrics {
+
+struct SrrConfig {
+  double cutoff_hz{0.6};          ///< low-pass cutoff (Markkula & Engström)
+  double threshold_deg{3.0};      ///< minimum swing to count as a reversal
+  double wheel_range_deg{450.0};  ///< steering value 1.0 = this many degrees
+                                  ///< (Logitech G27: 900 degrees lock-to-lock)
+  double min_duration_s{5.0};     ///< windows shorter than this yield no rate
+};
+
+struct SrrResult {
+  std::size_t reversals{0};
+  double duration_s{0.0};
+  double rate_per_min{0.0};
+  bool valid() const { return duration_s >= 1e-9; }
+};
+
+class SrrAnalyzer {
+ public:
+  explicit SrrAnalyzer(SrrConfig config = {}) : config_{config} {}
+
+  /// SRR over the whole run.
+  SrrResult analyze(const trace::RunTrace& run) const;
+
+  /// SRR over [start, stop) seconds of the run.
+  SrrResult analyze_window(const trace::RunTrace& run, double start, double stop) const;
+
+  /// Core algorithm on a raw (time, steering-fraction) series sampled at a
+  /// fixed rate. Exposed for tests and for externally recorded data.
+  SrrResult analyze_series(const std::vector<double>& t,
+                           const std::vector<double>& steer_fraction) const;
+
+  const SrrConfig& config() const { return config_; }
+
+ private:
+  SrrConfig config_;
+};
+
+}  // namespace rdsim::metrics

@@ -1,0 +1,75 @@
+#include "metrics/ttc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rdsim::metrics {
+
+std::vector<TtcSample> TtcAnalyzer::series(const trace::RunTrace& run) const {
+  // Group the other-vehicle samples by timestamp for pairing with ego rows.
+  // Trace rows are emitted together per logging tick, so exact-time grouping
+  // is reliable; we key by rounded microseconds to be safe against FP noise.
+  std::multimap<std::int64_t, const trace::OtherSample*> by_time;
+  for (const trace::OtherSample& o : run.others) {
+    by_time.emplace(static_cast<std::int64_t>(std::llround(o.t * 1e6)), &o);
+  }
+
+  std::vector<TtcSample> out;
+  for (const trace::EgoSample& e : run.ego) {
+    const auto key = static_cast<std::int64_t>(std::llround(e.t * 1e6));
+    const auto [lo, hi] = by_time.equal_range(key);
+    const double ego_speed = std::hypot(e.vx, e.vy);
+    if (ego_speed < 1e-3) continue;
+    const double hx = e.vx / ego_speed;
+    const double hy = e.vy / ego_speed;
+
+    std::optional<TtcSample> best;
+    for (auto it = lo; it != hi; ++it) {
+      const trace::OtherSample& o = *it->second;
+      const double dx = o.x - e.x;
+      const double dy = o.y - e.y;
+      const double ahead = dx * hx + dy * hy;           // longitudinal gap
+      const double lateral = -dx * hy + dy * hx;        // lateral offset
+      if (ahead <= 0.0 || ahead > config_.max_distance_m) continue;
+      if (std::fabs(lateral) > config_.max_lateral_m) continue;
+      const double lead_speed_along = o.vx * hx + o.vy * hy;
+      const double closing = ego_speed - lead_speed_along;
+      if (closing < config_.min_closing_speed) continue;
+      const double gap = std::max(ahead - config_.length_correction_m, 0.1);
+      const double ttc = gap / closing;
+      if (!best || ahead < best->distance) {
+        best = TtcSample{e.t, ttc, ahead, o.actor};
+      }
+    }
+    if (best) out.push_back(*best);
+  }
+  return out;
+}
+
+TtcStats TtcAnalyzer::summarize(const std::vector<TtcSample>& series) const {
+  return summarize_window(series, -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::infinity());
+}
+
+TtcStats TtcAnalyzer::summarize_window(const std::vector<TtcSample>& series, double start,
+                                       double stop) const {
+  util::RunningStats stats;
+  std::size_t violations = 0;
+  for (const TtcSample& s : series) {
+    if (s.t < start || s.t >= stop) continue;
+    stats.add(s.ttc);
+    if (s.ttc > 0.0 && s.ttc < config_.violation_threshold_s) ++violations;
+  }
+  TtcStats out;
+  out.samples = stats.count();
+  if (!stats.empty()) {
+    out.min = stats.min();
+    out.avg = stats.mean();
+    out.max = stats.max();
+  }
+  out.violations = violations;
+  return out;
+}
+
+}  // namespace rdsim::metrics

@@ -1,0 +1,70 @@
+// Time-To-Collision (TTC), the paper's longitudinal safety metric (§V.G.1).
+//
+//   TTC = (X_L - X_F) / (v_F - v_L)
+//
+// computed against the lead vehicle while following, and only for samples
+// where the relative distance is <= 100 m (§VI.C: at the study's low speeds,
+// larger distances always produce a large TTC). A TTC in (0, threshold) is a
+// violation; the paper uses threshold = 6 s after Vogel [13].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace rdsim::metrics {
+
+struct TtcConfig {
+  double max_distance_m{100.0};   ///< ignore leads farther than this
+  double max_lateral_m{1.9};      ///< lead must be in the ego's lane corridor
+  double min_closing_speed{1.0};  ///< m/s; below this the pair is not
+                                  ///< meaningfully closing and TTC is undefined
+  double violation_threshold_s{6.0};
+  /// Bumper-to-bumper correction subtracted from the centre distance.
+  double length_correction_m{4.6};
+};
+
+/// One TTC sample.
+struct TtcSample {
+  double t{0.0};
+  double ttc{0.0};
+  double distance{0.0};
+  sim::ActorId lead{sim::kInvalidActor};
+};
+
+/// Summary statistics over a set of samples (one Table III cell group).
+struct TtcStats {
+  std::size_t samples{0};
+  double min{0.0};
+  double avg{0.0};
+  double max{0.0};
+  std::size_t violations{0};  ///< samples with 0 < TTC < threshold
+  bool valid() const { return samples > 0; }
+};
+
+/// Computes the TTC series for a run. Lead candidates are other samples of
+/// kind vehicle that lie ahead of the ego along its heading within the
+/// lateral corridor; the nearest qualifying one is the lead.
+class TtcAnalyzer {
+ public:
+  explicit TtcAnalyzer(TtcConfig config = {}) : config_{config} {}
+
+  std::vector<TtcSample> series(const trace::RunTrace& run) const;
+
+  /// Stats over the full run.
+  TtcStats summarize(const std::vector<TtcSample>& series) const;
+
+  /// Stats restricted to [start, stop).
+  TtcStats summarize_window(const std::vector<TtcSample>& series, double start,
+                            double stop) const;
+
+  const TtcConfig& config() const { return config_; }
+
+ private:
+  TtcConfig config_;
+};
+
+}  // namespace rdsim::metrics

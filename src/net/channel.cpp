@@ -1,0 +1,70 @@
+#include "net/channel.hpp"
+
+namespace rdsim::net {
+
+namespace {
+// Flow ids: low bit encodes direction so the router can demultiplex.
+constexpr std::uint32_t kDownFlow = 0;
+constexpr std::uint32_t kUpFlow = 1;
+}  // namespace
+
+Channel::Channel(TrafficControl& tc, std::string device)
+    : tc_{&tc}, device_{std::move(device)} {
+  // Materialize the default pfifo so `in_flight` is valid immediately.
+  tc_->root(device_);
+}
+
+std::uint64_t Channel::send(LinkDirection dir, Payload payload, std::uint32_t wire_size,
+                            util::TimePoint now) {
+  Packet p;
+  p.id = next_id_++;
+  p.flow = dir == LinkDirection::kDownlink ? kDownFlow : kUpFlow;
+  p.payload = std::move(payload);
+  p.wire_size = wire_size;
+  DirectionStats& s = mutable_stats(dir);
+  ++s.packets_sent;
+  s.bytes_sent += p.effective_wire_size();
+  tc_->root(device_).enqueue(std::move(p), now);
+  return next_id_ - 1;
+}
+
+void Channel::step(util::TimePoint now) {
+  for (Packet& p : tc_->root(device_).dequeue_ready(now)) {
+    const LinkDirection dir =
+        p.flow == kDownFlow ? LinkDirection::kDownlink : LinkDirection::kUplink;
+    DirectionStats& s = mutable_stats(dir);
+    ++s.packets_delivered;
+    s.total_latency += now - p.enqueued_at;
+    inbox(dir).push_back(std::move(p));
+  }
+}
+
+std::optional<Packet> Channel::receive(LinkDirection dir) {
+  auto& box = inbox(dir);
+  if (box.empty()) return std::nullopt;
+  Packet p = std::move(box.front());
+  box.pop_front();
+  return p;
+}
+
+bool Channel::has_pending(LinkDirection dir) const { return !inbox(dir).empty(); }
+
+std::size_t Channel::inbox_size(LinkDirection dir) const { return inbox(dir).size(); }
+
+const DirectionStats& Channel::stats(LinkDirection dir) const {
+  return dir == LinkDirection::kDownlink ? down_stats_ : up_stats_;
+}
+
+std::deque<Packet>& Channel::inbox(LinkDirection dir) {
+  return dir == LinkDirection::kDownlink ? to_operator_ : to_vehicle_;
+}
+
+const std::deque<Packet>& Channel::inbox(LinkDirection dir) const {
+  return dir == LinkDirection::kDownlink ? to_operator_ : to_vehicle_;
+}
+
+DirectionStats& Channel::mutable_stats(LinkDirection dir) {
+  return dir == LinkDirection::kDownlink ? down_stats_ : up_stats_;
+}
+
+}  // namespace rdsim::net

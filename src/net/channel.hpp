@@ -1,0 +1,74 @@
+// Bidirectional communication channel over an emulated network device.
+//
+// Mirrors the paper's setup (§V.D): CARLA server and client both run on the
+// same host and exchange traffic over the loopback interface, so a single
+// egress qdisc on `lo` disturbs *both* the downlink video and the uplink
+// driving commands. A Channel therefore owns one device in a TrafficControl
+// table and pushes packets from both directions through the same root qdisc;
+// delivered packets are routed to the destination endpoint's inbox.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/tc.hpp"
+
+namespace rdsim::net {
+
+/// Per-direction delivery statistics.
+struct DirectionStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t packets_delivered{0};
+  std::uint64_t bytes_sent{0};
+  util::Duration total_latency{};  ///< sum over delivered packets
+
+  double mean_latency_ms() const {
+    return packets_delivered > 0
+               ? total_latency.to_millis() / static_cast<double>(packets_delivered)
+               : 0.0;
+  }
+};
+
+class Channel {
+ public:
+  /// `tc` is borrowed and must outlive the channel. `device` names the
+  /// emulated interface ("lo" in the paper's setup).
+  Channel(TrafficControl& tc, std::string device);
+
+  /// Queue a packet for transmission at `now`. Returns its packet id.
+  std::uint64_t send(LinkDirection dir, Payload payload, std::uint32_t wire_size,
+                     util::TimePoint now);
+
+  /// Move packets that have cleared the qdisc into the destination inboxes.
+  /// Call once per simulation step (idempotent within a step).
+  void step(util::TimePoint now);
+
+  /// Pop the next delivered packet travelling in `dir`, if any.
+  std::optional<Packet> receive(LinkDirection dir);
+
+  bool has_pending(LinkDirection dir) const;
+  std::size_t inbox_size(LinkDirection dir) const;
+
+  const DirectionStats& stats(LinkDirection dir) const;
+  const std::string& device() const { return device_; }
+  TrafficControl& traffic_control() { return *tc_; }
+
+  /// Packets still inside the qdisc (in flight).
+  std::size_t in_flight() const { return tc_->root(device_).backlog(); }
+
+ private:
+  std::deque<Packet>& inbox(LinkDirection dir);
+  const std::deque<Packet>& inbox(LinkDirection dir) const;
+  DirectionStats& mutable_stats(LinkDirection dir);
+
+  TrafficControl* tc_;
+  std::string device_;
+  std::uint64_t next_id_{1};
+  std::deque<Packet> to_operator_;  ///< downlink deliveries
+  std::deque<Packet> to_vehicle_;   ///< uplink deliveries
+  DirectionStats down_stats_;
+  DirectionStats up_stats_;
+};
+
+}  // namespace rdsim::net

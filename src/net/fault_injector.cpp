@@ -1,0 +1,102 @@
+#include "net/fault_injector.hpp"
+
+#include <sstream>
+
+namespace rdsim::net {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kPacketLoss: return "loss";
+    case FaultKind::kCorruption: return "corrupt";
+    case FaultKind::kDuplication: return "duplicate";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::to_netem_args() const {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDelay:
+      os << "delay " << value << "ms";
+      break;
+    case FaultKind::kPacketLoss:
+      os << "loss " << value * 100.0 << "%";
+      break;
+    case FaultKind::kCorruption:
+      os << "corrupt " << value * 100.0 << "%";
+      break;
+    case FaultKind::kDuplication:
+      os << "duplicate " << value * 100.0 << "%";
+      break;
+  }
+  return os.str();
+}
+
+NetemConfig FaultSpec::to_config() const { return parse_netem(to_netem_args()); }
+
+std::string FaultSpec::label() const {
+  std::ostringstream os;
+  if (kind == FaultKind::kDelay) {
+    os << value << "ms";
+  } else {
+    os << value * 100.0 << "%";
+  }
+  return os.str();
+}
+
+std::vector<FaultSpec> paper_fault_model() {
+  return {
+      {FaultKind::kDelay, 5.0},
+      {FaultKind::kDelay, 25.0},
+      {FaultKind::kDelay, 50.0},
+      {FaultKind::kPacketLoss, 0.02},
+      {FaultKind::kPacketLoss, 0.05},
+  };
+}
+
+FaultInjector::FaultInjector(TrafficControl& tc, std::string device)
+    : tc_{&tc}, device_{std::move(device)} {}
+
+void FaultInjector::inject(const FaultSpec& fault, util::TimePoint now) {
+  if (active_) {
+    tc_->change(device_, fault.to_config());
+    log_.push_back({now, *active_, /*added=*/false});
+  } else {
+    tc_->add(device_, fault.to_config());
+  }
+  active_ = fault;
+  log_.push_back({now, fault, /*added=*/true});
+  ++injections_;
+}
+
+void FaultInjector::remove(util::TimePoint now) {
+  if (!active_) return;
+  tc_->del(device_);
+  log_.push_back({now, *active_, /*added=*/false});
+  active_.reset();
+}
+
+void FaultInjector::schedule(const FaultSpec& fault, util::TimePoint start,
+                             util::TimePoint stop) {
+  schedule_.push_back({fault, start, stop, false, false});
+}
+
+void FaultInjector::step(util::TimePoint now) {
+  for (Window& w : schedule_) {
+    if (!w.started && now >= w.start && now < w.stop) {
+      inject(w.fault, now);
+      w.started = true;
+    }
+    if (w.started && !w.finished && now >= w.stop) {
+      // Only remove if this window's fault is still the active one.
+      if (active_ && *active_ == w.fault) remove(now);
+      w.finished = true;
+    }
+  }
+}
+
+}  // namespace rdsim::net

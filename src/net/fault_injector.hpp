@@ -1,0 +1,97 @@
+// Fault-injection campaign driver.
+//
+// The paper's §V.F logs every injection as
+//   { timestamp, fault type, value, added/deleted }
+// and §V.C defines the fault model: {5, 25, 50} ms delay and {2, 5} % packet
+// loss, injected at points of interest with a situation-dependent duration.
+// The FaultInjector executes tc rule strings against a TrafficControl table
+// at scheduled virtual times (or on demand) and keeps exactly that event log.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/tc.hpp"
+
+namespace rdsim::net {
+
+/// The fault classes of the paper's fault model, plus the ones that were
+/// screened out in §V.C (corruption, duplication) so the screening experiment
+/// itself can be reproduced.
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kDelay,
+  kPacketLoss,
+  kCorruption,
+  kDuplication,
+};
+
+std::string to_string(FaultKind kind);
+
+/// One injectable fault: a kind plus magnitude. Delay magnitudes are
+/// durations; probabilities are fractions.
+struct FaultSpec {
+  FaultKind kind{FaultKind::kNone};
+  double value{0.0};  ///< ms for delay, fraction for probabilistic faults
+
+  /// The tc netem argument string for this fault ("delay 50ms", "loss 5%").
+  std::string to_netem_args() const;
+  NetemConfig to_config() const;
+
+  /// Human-readable label used in the tables ("50ms", "5%").
+  std::string label() const;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// The paper's five-point fault model (Table II columns).
+std::vector<FaultSpec> paper_fault_model();
+
+/// §V.F fault log record.
+struct FaultEvent {
+  util::TimePoint timestamp{};
+  FaultSpec fault{};
+  bool added{false};  ///< true = rule added, false = rule deleted
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(TrafficControl& tc, std::string device);
+
+  /// Install `fault` now; replaces any active fault (change semantics).
+  void inject(const FaultSpec& fault, util::TimePoint now);
+
+  /// Remove the active fault, reverting the device to the default pfifo.
+  void remove(util::TimePoint now);
+
+  bool active() const { return active_.has_value(); }
+  std::optional<FaultSpec> active_fault() const { return active_; }
+
+  /// Schedule an injection window [start, stop).
+  void schedule(const FaultSpec& fault, util::TimePoint start, util::TimePoint stop);
+
+  /// Apply any scheduled transitions due at `now`.
+  void step(util::TimePoint now);
+
+  const std::vector<FaultEvent>& log() const { return log_; }
+  std::size_t injections() const { return injections_; }
+
+ private:
+  struct Window {
+    FaultSpec fault;
+    util::TimePoint start;
+    util::TimePoint stop;
+    bool started{false};
+    bool finished{false};
+  };
+
+  TrafficControl* tc_;
+  std::string device_;
+  std::optional<FaultSpec> active_;
+  std::vector<Window> schedule_;
+  std::vector<FaultEvent> log_;
+  std::size_t injections_{0};
+};
+
+}  // namespace rdsim::net

@@ -1,0 +1,290 @@
+#include "net/netem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/vec2.hpp"
+
+namespace rdsim::net {
+
+namespace {
+
+void append_percent(std::ostringstream& os, const char* name, double p, double corr) {
+  os << ' ' << name << ' ' << p * 100.0 << '%';
+  if (corr > 0.0) os << ' ' << corr * 100.0 << '%';
+}
+
+}  // namespace
+
+std::string NetemConfig::describe() const {
+  std::ostringstream os;
+  os << "netem";
+  if (has_delay()) {
+    os << " delay " << delay.to_millis() << "ms";
+    if (jitter > util::Duration{}) {
+      os << ' ' << jitter.to_millis() << "ms";
+      if (delay_correlation > 0.0) os << ' ' << delay_correlation * 100.0 << '%';
+    }
+    switch (distribution) {
+      case DelayDistribution::kUniform: break;
+      case DelayDistribution::kNormal: os << " distribution normal"; break;
+      case DelayDistribution::kPareto: os << " distribution pareto"; break;
+      case DelayDistribution::kParetoNormal: os << " distribution paretonormal"; break;
+      case DelayDistribution::kTable: os << " distribution <table>"; break;
+    }
+  }
+  if (gemodel) {
+    os << " loss gemodel " << gemodel->p * 100.0 << '%' << ' ' << gemodel->r * 100.0 << '%';
+  } else if (loss_probability > 0.0) {
+    append_percent(os, "loss", loss_probability, loss_correlation);
+  }
+  if (duplicate_probability > 0.0) {
+    append_percent(os, "duplicate", duplicate_probability, duplicate_correlation);
+  }
+  if (corrupt_probability > 0.0) {
+    append_percent(os, "corrupt", corrupt_probability, corrupt_correlation);
+  }
+  if (reorder_probability > 0.0) {
+    append_percent(os, "reorder", reorder_probability, reorder_correlation);
+    if (reorder_gap > 1) os << " gap " << reorder_gap;
+  }
+  if (rate_bytes_per_s > 0.0) os << " rate " << rate_bytes_per_s * 8.0 / 1000.0 << "kbit";
+  return os.str();
+}
+
+DelayDistributionTable DelayDistributionTable::from_values(
+    std::vector<std::int16_t> values) {
+  if (values.empty()) {
+    throw std::invalid_argument{"DelayDistributionTable: empty table"};
+  }
+  DelayDistributionTable t;
+  t.values_ = std::move(values);
+  return t;
+}
+
+DelayDistributionTable DelayDistributionTable::parse(const std::string& text) {
+  std::vector<std::int16_t> values;
+  std::istringstream is{text};
+  std::string token;
+  while (is >> token) {
+    if (token.front() == '#') {
+      std::string rest;
+      std::getline(is, rest);  // drop the comment line
+      continue;
+    }
+    try {
+      values.push_back(static_cast<std::int16_t>(std::stoi(token)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument{"DelayDistributionTable: bad token '" + token + "'"};
+    }
+  }
+  return from_values(std::move(values));
+}
+
+double DelayDistributionTable::sample(double u) const {
+  const auto idx = static_cast<std::size_t>(
+      util::clamp(u, 0.0, 1.0 - 1e-12) * static_cast<double>(values_.size()));
+  // NETEM_DIST_SCALE: table entries are deviates in sigmas times 8192.
+  return static_cast<double>(values_[idx]) / 8192.0;
+}
+
+NetemQdisc::NetemQdisc(NetemConfig config, std::uint64_t seed)
+    : config_{std::move(config)}, rng_{seed, /*stream=*/0x6e6574656dULL} {
+  if (config_.distribution == DelayDistribution::kTable &&
+      !config_.distribution_table) {
+    throw std::invalid_argument{"netem: distribution table selected but not provided"};
+  }
+}
+
+double NetemQdisc::correlated_uniform(double correlation, double& state) {
+  // netem's get_crandom: blend the previous deviate with a fresh one.
+  const double fresh = rng_.uniform();
+  if (correlation <= 0.0) {
+    state = fresh;
+    return fresh;
+  }
+  const double rho = std::min(correlation, 1.0);
+  state = rho * state + (1.0 - rho) * fresh;
+  return state;
+}
+
+double NetemQdisc::sample_jitter_unit() {
+  switch (config_.distribution) {
+    case DelayDistribution::kUniform:
+      return 2.0 * rng_.uniform() - 1.0;
+    case DelayDistribution::kNormal: {
+      // Truncate at 4 sigma as netem's table generation effectively does;
+      // scale so jitter acts as one standard deviation.
+      const double z = rng_.normal();
+      return util::clamp(z, -4.0, 4.0) / 4.0;
+    }
+    case DelayDistribution::kPareto: {
+      // One-sided heavy tail, shifted to zero mean-ish, clamped to [-1, 4].
+      const double alpha = 3.0;
+      const double u = std::max(rng_.uniform(), 1e-9);
+      const double x = std::pow(u, -1.0 / alpha) - 1.0;  // >= 0, heavy tail
+      return util::clamp(x - 0.5, -1.0, 4.0);
+    }
+    case DelayDistribution::kParetoNormal: {
+      const double z = util::clamp(rng_.normal() / 4.0, -1.0, 1.0);
+      const double alpha = 3.0;
+      const double u = std::max(rng_.uniform(), 1e-9);
+      const double x = util::clamp(std::pow(u, -1.0 / alpha) - 1.5, -1.0, 4.0);
+      return 0.75 * z + 0.25 * x;
+    }
+    case DelayDistribution::kTable:
+      return config_.distribution_table->sample(rng_.uniform());
+  }
+  return 0.0;
+}
+
+util::Duration NetemQdisc::sample_delay() {
+  util::Duration d = config_.delay;
+  if (config_.jitter > util::Duration{}) {
+    double unit = 0.0;
+    if (config_.delay_correlation > 0.0) {
+      // Correlated uniform mapped to [-1, 1].
+      unit = 2.0 * correlated_uniform(config_.delay_correlation, delay_corr_state_) - 1.0;
+    } else {
+      unit = sample_jitter_unit();
+    }
+    const auto jitter_us = static_cast<std::int64_t>(
+        unit * static_cast<double>(config_.jitter.count_micros()));
+    d += util::Duration::micros(jitter_us);
+  }
+  if (d.is_negative()) d = util::Duration{};
+  return d;
+}
+
+bool NetemQdisc::sample_loss() {
+  if (config_.gemodel) {
+    const auto& ge = *config_.gemodel;
+    // Transition first, then sample the state's loss probability.
+    if (ge_in_bad_state_) {
+      if (rng_.bernoulli(ge.r)) ge_in_bad_state_ = false;
+    } else {
+      if (rng_.bernoulli(ge.p)) ge_in_bad_state_ = true;
+    }
+    const double p_loss = ge_in_bad_state_ ? ge.k : ge.h;
+    return rng_.bernoulli(p_loss);
+  }
+  if (config_.loss_probability <= 0.0) return false;
+  const double p = config_.loss_probability;
+  const double rho = util::clamp(config_.loss_correlation, 0.0, 1.0);
+  if (rho <= 0.0) {
+    const bool lost = rng_.bernoulli(p);
+    last_loss_ = lost;
+    return lost;
+  }
+  // Correlated loss as a two-state chain that preserves the marginal rate p
+  // exactly while clustering losses: P(loss|loss) = p + rho(1-p),
+  // P(loss|ok) = p(1-rho). (The kernel's blended-uniform scheme distorts the
+  // marginal badly at high correlation — a known netem quirk we fix here.)
+  const double p_cond = last_loss_ ? p + rho * (1.0 - p) : p * (1.0 - rho);
+  const bool lost = rng_.bernoulli(p_cond);
+  last_loss_ = lost;
+  return lost;
+}
+
+void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
+  ++stats_.enqueued;
+  packet.enqueued_at = now;
+
+  if (sample_loss()) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  bool duplicate = false;
+  if (config_.duplicate_probability > 0.0) {
+    const double u = correlated_uniform(config_.duplicate_correlation, dup_corr_state_);
+    duplicate = u < config_.duplicate_probability;
+  }
+
+  if (config_.corrupt_probability > 0.0) {
+    const double u = correlated_uniform(config_.corrupt_correlation, corrupt_corr_state_);
+    if (u < config_.corrupt_probability && !packet.payload.empty()) {
+      // Flip one random bit, as sch_netem does.
+      const auto byte_idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<int>(packet.payload.size()) - 1));
+      const auto bit = static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+      packet.payload[byte_idx] ^= bit;
+      packet.corrupted = true;
+      ++stats_.corrupted;
+    }
+  }
+
+  util::Duration delay = sample_delay();
+
+  // Reordering: the selected packets jump the delay queue (sent "now"),
+  // which makes them arrive ahead of earlier, still-delayed packets.
+  bool send_immediately = false;
+  if (config_.reorder_probability > 0.0 && config_.has_delay()) {
+    ++since_reorder_;
+    if (since_reorder_ >= config_.reorder_gap) {
+      const double u =
+          correlated_uniform(config_.reorder_correlation, reorder_corr_state_);
+      if (u < config_.reorder_probability) {
+        send_immediately = true;
+        since_reorder_ = 0;
+      }
+    }
+  }
+  if (send_immediately) {
+    delay = util::Duration{};
+    if (!queue_.empty()) ++stats_.reordered;
+  }
+
+  util::TimePoint release = now + delay;
+
+  // Rate control: serialization starts when the previous packet finished.
+  if (config_.rate_bytes_per_s > 0.0) {
+    const util::TimePoint start = std::max(release, last_tx_finish_);
+    const double tx_seconds =
+        static_cast<double>(packet.effective_wire_size()) / config_.rate_bytes_per_s;
+    release = start + util::Duration::seconds(tx_seconds);
+    last_tx_finish_ = release;
+  }
+
+  if (queue_.size() >= config_.limit) {
+    ++stats_.dropped_overlimit;
+    return;
+  }
+
+  auto schedule = [&](Packet p) {
+    Scheduled s{release, seq_++, std::move(p)};
+    const auto it = std::upper_bound(queue_.begin(), queue_.end(), s);
+    queue_.insert(it, std::move(s));
+  };
+
+  if (duplicate && queue_.size() + 1 < config_.limit) {
+    Packet copy = packet;
+    copy.duplicate = true;
+    ++stats_.duplicated;
+    schedule(std::move(copy));
+  }
+  schedule(std::move(packet));
+}
+
+std::vector<Packet> NetemQdisc::dequeue_ready(util::TimePoint now) {
+  std::vector<Packet> out;
+  std::size_t n = 0;
+  while (n < queue_.size() && queue_[n].release <= now) ++n;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.dequeued;
+    stats_.bytes_sent += queue_[i].packet.effective_wire_size();
+    out.push_back(std::move(queue_[i].packet));
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+std::optional<util::TimePoint> NetemQdisc::next_event() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front().release;
+}
+
+}  // namespace rdsim::net

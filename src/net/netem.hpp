@@ -1,0 +1,158 @@
+// NETEM: network emulation queueing discipline.
+//
+// Re-implements the semantics of the Linux `sch_netem` discipline at user
+// level on the shared virtual clock. Supported, as in the paper (§II.C):
+// fixed and variable delay (jitter with correlation and a choice of
+// distributions), random and Gilbert–Elliott packet loss, duplication,
+// corruption, re-ordering, rate control, and a queue limit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/qdisc.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rdsim::net {
+
+/// Jitter distribution, mirroring netem's delay distribution tables.
+enum class DelayDistribution : std::uint8_t {
+  kUniform,        ///< uniform in [-jitter, +jitter] (netem default)
+  kNormal,         ///< truncated normal, sigma = jitter
+  kPareto,         ///< heavy-tailed, scaled to jitter
+  kParetoNormal,   ///< netem's paretonormal mixture (0.75 normal + 0.25 pareto)
+  kTable,          ///< custom empirical table (netem's /usr/lib/tc/*.dist)
+};
+
+/// An empirical jitter distribution in the format of netem's `.dist` files:
+/// a quantized inverse CDF whose entries are deviates in units of sigma,
+/// scaled by 1/8192 (NETEM_DIST_SCALE). Sampling picks a uniformly random
+/// entry — exactly what the kernel does.
+class DelayDistributionTable {
+ public:
+  /// Raw table values, each `value / 8192.0` being the deviate in sigmas.
+  static DelayDistributionTable from_values(std::vector<std::int16_t> values);
+
+  /// Parse the textual `.dist` format: whitespace-separated integers,
+  /// '#' comments. Throws std::invalid_argument when empty/malformed.
+  static DelayDistributionTable parse(const std::string& text);
+
+  /// Deviate in units of the configured jitter, for a uniform u in [0,1).
+  double sample(double u) const;
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::int16_t> values_;
+};
+
+/// Two-state Gilbert–Elliott loss model parameters (netem `loss gemodel`).
+struct GilbertElliott {
+  double p{0.0};    ///< P(good -> bad)
+  double r{1.0};    ///< P(bad -> good)
+  double h{0.0};    ///< loss probability in the good state (1-k in tc terms)
+  double k{1.0};    ///< loss probability in the bad state
+};
+
+/// Full parameter set of one netem rule, the analogue of a
+/// `tc qdisc add dev lo root netem ...` command line.
+struct NetemConfig {
+  // Delay.
+  util::Duration delay{};             ///< base one-way delay
+  util::Duration jitter{};            ///< +/- variation
+  double delay_correlation{0.0};      ///< [0,1] correlation of successive jitter
+  DelayDistribution distribution{DelayDistribution::kUniform};
+  std::shared_ptr<const DelayDistributionTable> distribution_table{};  ///< kTable
+
+  // Loss.
+  double loss_probability{0.0};       ///< [0,1] independent random loss
+  double loss_correlation{0.0};       ///< [0,1] correlation of successive losses
+  std::optional<GilbertElliott> gemodel{};  ///< takes precedence when set
+
+  // Duplication / corruption.
+  double duplicate_probability{0.0};
+  double duplicate_correlation{0.0};
+  double corrupt_probability{0.0};
+  double corrupt_correlation{0.0};
+
+  // Reordering: with probability `reorder_probability`, every `reorder_gap`-th
+  // packet is transmitted immediately while the rest take the full delay.
+  double reorder_probability{0.0};
+  double reorder_correlation{0.0};
+  std::uint32_t reorder_gap{1};
+
+  // Rate control (bytes per second); 0 disables.
+  double rate_bytes_per_s{0.0};
+
+  // Queue limit in packets (netem default 1000).
+  std::size_t limit{1000};
+
+  bool has_delay() const { return delay > util::Duration{} || jitter > util::Duration{}; }
+  bool has_loss() const { return loss_probability > 0.0 || gemodel.has_value(); }
+
+  /// Render back to a `tc`-style argument string (for logs).
+  std::string describe() const;
+};
+
+/// The netem discipline proper.
+class NetemQdisc final : public Qdisc {
+ public:
+  explicit NetemQdisc(NetemConfig config, std::uint64_t seed = 1);
+
+  /// Replace parameters in place (tc qdisc change); queued packets keep the
+  /// release times they were assigned under the old parameters, exactly as
+  /// the kernel behaves.
+  void change(NetemConfig config) { config_ = std::move(config); }
+
+  const NetemConfig& config() const { return config_; }
+
+  void enqueue(Packet packet, util::TimePoint now) override;
+  std::vector<Packet> dequeue_ready(util::TimePoint now) override;
+  std::optional<util::TimePoint> next_event() const override;
+  std::size_t backlog() const override { return queue_.size(); }
+  void clear() override { queue_.clear(); }
+  const QdiscStats& stats() const override { return stats_; }
+  std::string kind() const override { return "netem"; }
+
+ private:
+  /// AR(1)-correlated uniform deviate in [0,1), one state per fault class.
+  double correlated_uniform(double correlation, double& state);
+  util::Duration sample_delay();
+  bool sample_loss();
+  double sample_jitter_unit();  ///< in [-1, 1], per the configured distribution
+
+  struct Scheduled {
+    util::TimePoint release;
+    std::uint64_t seq;  ///< tie-break to keep FIFO order for equal times
+    Packet packet;
+    bool operator<(const Scheduled& other) const {
+      if (release != other.release) return release < other.release;
+      return seq < other.seq;
+    }
+  };
+
+  NetemConfig config_;
+  util::Random rng_;
+  std::vector<Scheduled> queue_;  ///< kept sorted by release time (tfifo)
+  std::uint64_t seq_{0};
+  std::uint64_t since_reorder_{0};
+
+  // Correlation states.
+  double delay_corr_state_{0.5};
+  bool last_loss_{false};
+  double dup_corr_state_{0.5};
+  double corrupt_corr_state_{0.5};
+  double reorder_corr_state_{0.5};
+  bool ge_in_bad_state_{false};
+
+  // Rate-control bookkeeping: when the previous packet finishes serializing.
+  util::TimePoint last_tx_finish_{};
+
+  QdiscStats stats_;
+};
+
+}  // namespace rdsim::net

@@ -1,0 +1,42 @@
+#include "net/qdisc.hpp"
+
+#include <sstream>
+
+namespace rdsim::net {
+
+std::string QdiscStats::summary() const {
+  std::ostringstream os;
+  os << "sent " << dequeued << " pkt (" << bytes_sent << " bytes)"
+     << " dropped " << total_dropped() << " (loss " << dropped_loss << ", overlimit "
+     << dropped_overlimit << ")"
+     << " duplicated " << duplicated << " corrupted " << corrupted << " reordered "
+     << reordered;
+  return os.str();
+}
+
+void FifoQdisc::enqueue(Packet packet, util::TimePoint now) {
+  ++stats_.enqueued;
+  packet.enqueued_at = now;
+  if (queue_.size() >= limit_) {
+    ++stats_.dropped_overlimit;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+}
+
+std::vector<Packet> FifoQdisc::dequeue_ready(util::TimePoint /*now*/) {
+  std::vector<Packet> out;
+  out.swap(queue_);
+  for (const auto& p : out) {
+    ++stats_.dequeued;
+    stats_.bytes_sent += p.effective_wire_size();
+  }
+  return out;
+}
+
+std::optional<util::TimePoint> FifoQdisc::next_event() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front().enqueued_at;
+}
+
+}  // namespace rdsim::net

@@ -1,0 +1,67 @@
+// Queueing-discipline interface, modelled on Linux traffic control.
+//
+// A qdisc receives packets on enqueue and releases them at (virtual) times of
+// its choosing. dequeue_ready() pops every packet whose release time has
+// passed, in release order — the link emulator drives this from the shared
+// virtual clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+namespace rdsim::net {
+
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  /// Hand a packet to the discipline at time `now`. The qdisc may drop it
+  /// (loss model or over-limit), duplicate it, corrupt it, or schedule it.
+  virtual void enqueue(Packet packet, util::TimePoint now) = 0;
+
+  /// Pop every packet whose scheduled release time is <= now.
+  virtual std::vector<Packet> dequeue_ready(util::TimePoint now) = 0;
+
+  /// Earliest pending release time, or nullopt when idle. Lets callers skip
+  /// polling idle links.
+  virtual std::optional<util::TimePoint> next_event() const = 0;
+
+  /// Packets currently queued.
+  virtual std::size_t backlog() const = 0;
+
+  /// Drop all queued packets (used when a tc rule is deleted).
+  virtual void clear() = 0;
+
+  virtual const QdiscStats& stats() const = 0;
+  virtual std::string kind() const = 0;
+};
+
+using QdiscPtr = std::unique_ptr<Qdisc>;
+
+/// pfifo: plain FIFO with a packet-count limit and tail drop. This is the
+/// Linux default qdisc the paper's loopback interface runs when no netem
+/// rule is installed — packets pass through with zero added latency.
+class FifoQdisc final : public Qdisc {
+ public:
+  explicit FifoQdisc(std::size_t limit_packets = 1000) : limit_{limit_packets} {}
+
+  void enqueue(Packet packet, util::TimePoint now) override;
+  std::vector<Packet> dequeue_ready(util::TimePoint now) override;
+  std::optional<util::TimePoint> next_event() const override;
+  std::size_t backlog() const override { return queue_.size(); }
+  void clear() override { queue_.clear(); }
+  const QdiscStats& stats() const override { return stats_; }
+  std::string kind() const override { return "pfifo"; }
+
+ private:
+  std::size_t limit_;
+  std::vector<Packet> queue_;
+  QdiscStats stats_;
+};
+
+}  // namespace rdsim::net

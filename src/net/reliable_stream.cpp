@@ -1,0 +1,309 @@
+#include "net/reliable_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/serialization.hpp"
+
+namespace rdsim::net {
+
+namespace {
+LinkDirection reverse(LinkDirection dir) {
+  return dir == LinkDirection::kDownlink ? LinkDirection::kUplink
+                                         : LinkDirection::kDownlink;
+}
+constexpr std::uint32_t kAckWireSize = 60;
+}  // namespace
+
+ReliableStream::ReliableStream(PacketRouter& router, Channel& channel,
+                               std::uint16_t stream_id, LinkDirection data_direction,
+                               StreamConfig config)
+    : router_{&router},
+      channel_{&channel},
+      stream_id_{stream_id},
+      data_dir_{data_direction},
+      config_{config} {
+  router_->register_stream(
+      stream_id_, [this](const ProtocolHeader& h, Payload body, LinkDirection via,
+                         util::TimePoint now) { on_packet(h, std::move(body), via, now); });
+}
+
+std::uint32_t ReliableStream::send_message(Payload bytes, std::uint32_t declared_wire_size,
+                                           util::TimePoint now) {
+  const std::uint32_t message_id = next_message_id_++;
+  const std::uint32_t wire =
+      std::max<std::uint32_t>(declared_wire_size, static_cast<std::uint32_t>(bytes.size()));
+  const std::uint16_t seg_count = static_cast<std::uint16_t>(
+      std::max<std::uint32_t>(1, (wire + config_.mtu - 1) / config_.mtu));
+
+  // Slice the actual payload evenly across segments so that losing any one
+  // segment blocks the whole message, as with real TCP segmentation.
+  const std::size_t total = bytes.size();
+  for (std::uint16_t i = 0; i < seg_count; ++i) {
+    Segment seg;
+    seg.seq = next_seq_++;
+    seg.message_id = message_id;
+    seg.seg_index = i;
+    seg.seg_count = seg_count;
+    seg.message_wire_size = wire;
+    seg.message_sent_us = static_cast<std::uint64_t>(now.count_micros());
+    const std::size_t lo = total * i / seg_count;
+    const std::size_t hi = total * (i + 1) / seg_count;
+    seg.chunk.assign(bytes.begin() + static_cast<std::ptrdiff_t>(lo),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(hi));
+    send_queue_.push_back(std::move(seg));
+  }
+  ++stats_.messages_sent;
+  return message_id;
+}
+
+Payload ReliableStream::encode_data(const Segment& seg) const {
+  ByteWriter w;
+  w.u32(seg.seq);
+  w.u32(seg.message_id);
+  w.u16(seg.seg_index);
+  w.u16(seg.seg_count);
+  w.u32(seg.message_wire_size);
+  w.u64(seg.message_sent_us);
+  w.bytes(seg.chunk);
+  return w.take();
+}
+
+std::optional<ReliableStream::Segment> ReliableStream::decode_data(const Payload& body) {
+  ByteReader r{body};
+  Segment seg;
+  seg.seq = r.u32();
+  seg.message_id = r.u32();
+  seg.seg_index = r.u16();
+  seg.seg_count = r.u16();
+  seg.message_wire_size = r.u32();
+  seg.message_sent_us = r.u64();
+  seg.chunk = r.bytes();
+  if (!r.ok() || seg.seg_count == 0 || seg.seg_index >= seg.seg_count) return std::nullopt;
+  return seg;
+}
+
+void ReliableStream::transmit_segment(const Segment& seg, util::TimePoint now,
+                                      bool retransmission) {
+  const Payload packet = ProtocolHeader::seal(stream_id_, SegmentType::kData,
+                                              encode_data(seg));
+  const std::uint32_t wire =
+      seg.message_wire_size / seg.seg_count + config_.header_overhead;
+  channel_->send(data_dir_, packet, wire, now);
+
+  auto [it, inserted] = in_flight_.try_emplace(seg.seq);
+  if (inserted) {
+    it->second.segment = seg;
+    it->second.first_sent = now;
+  }
+  it->second.last_sent = now;
+  ++it->second.transmissions;
+  if (!retransmission) ++stats_.segments_sent;
+}
+
+void ReliableStream::step(util::TimePoint now) {
+  // Transmit fresh segments while the window allows.
+  while (!send_queue_.empty() && in_flight_.size() < config_.window_segments) {
+    Segment seg = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    transmit_segment(seg, now, /*retransmission=*/false);
+  }
+
+  // RTO: the timer runs on the earliest outstanding segment, per TCP. On
+  // expiry we resend the head plus a small batch of other stale segments —
+  // the practical effect of SACK-based recovery resuming after a timeout.
+  if (!in_flight_.empty()) {
+    const util::Duration rto = current_rto();
+    if (now - in_flight_.begin()->second.last_sent >= rto) {
+      int budget = 4;
+      for (auto& [seq, inflight] : in_flight_) {
+        if (budget == 0) break;
+        if (now - inflight.last_sent < rto) continue;
+        transmit_segment(inflight.segment, now, /*retransmission=*/true);
+        --budget;
+      }
+      ++stats_.retransmits_rto;
+      rto_backoff_ = std::min(rto_backoff_ + 1, 3u);
+    }
+  } else {
+    rto_backoff_ = 0;
+  }
+
+  // Delayed ack timer.
+  if (ack_pending_ && now >= ack_due_) send_ack(now);
+}
+
+util::Duration ReliableStream::current_rto() const {
+  util::Duration base = config_.rto_initial;
+  if (rtt_valid_) {
+    const double rto_ms = srtt_ms_ + std::max(4.0 * rttvar_ms_, 1.0);
+    base = util::Duration::seconds(rto_ms / 1e3);
+  }
+  base = std::max(base, config_.rto_min);
+  for (std::uint32_t i = 0; i < rto_backoff_; ++i) base = base * 2;
+  return std::min(base, config_.rto_max);
+}
+
+void ReliableStream::update_rtt(util::Duration sample) {
+  const double r = sample.to_millis();
+  if (!rtt_valid_) {
+    srtt_ms_ = r;
+    rttvar_ms_ = r / 2.0;
+    rtt_valid_ = true;
+  } else {
+    // RFC 6298 EWMA constants.
+    rttvar_ms_ = 0.75 * rttvar_ms_ + 0.25 * std::fabs(srtt_ms_ - r);
+    srtt_ms_ = 0.875 * srtt_ms_ + 0.125 * r;
+  }
+  stats_.srtt_ms = srtt_ms_;
+  stats_.rto_ms = current_rto().to_millis();
+}
+
+void ReliableStream::on_packet(const ProtocolHeader& header, Payload body,
+                               LinkDirection via, util::TimePoint now) {
+  if (header.type == SegmentType::kData && via == data_dir_) {
+    on_data(std::move(body), now);
+  } else if (header.type == SegmentType::kAck && via == reverse(data_dir_)) {
+    on_ack(std::move(body), now);
+  }
+  // Anything else (e.g. a duplicated packet that re-arrives on the wrong
+  // path) is silently ignored, as a real socket would.
+}
+
+void ReliableStream::on_data(Payload body, util::TimePoint now) {
+  auto seg = decode_data(body);
+  if (!seg) return;
+
+  if (seg->seq < rcv_next_ || out_of_order_.count(seg->seq) != 0) {
+    // Duplicate (retransmission that raced the original, or netem duplicate).
+    ++stats_.stale_segments;
+  } else {
+    last_data_ts_us_ = seg->message_sent_us;
+    out_of_order_.emplace(seg->seq, std::move(*seg));
+    // Absorb the contiguous prefix.
+    while (true) {
+      auto it = out_of_order_.find(rcv_next_);
+      if (it == out_of_order_.end()) break;
+      Segment s = std::move(it->second);
+      out_of_order_.erase(it);
+      ++rcv_next_;
+
+      auto [mit, _] = reassembly_.try_emplace(s.message_id);
+      PendingMessage& pm = mit->second;
+      pm.message_id = s.message_id;
+      pm.seg_count = s.seg_count;
+      pm.wire_size = s.message_wire_size;
+      pm.sent_us = s.message_sent_us;
+      pm.chunks.emplace(s.seg_index, std::move(s.chunk));
+    }
+    // Deliver complete messages in id order (stream order).
+    while (true) {
+      auto mit = reassembly_.find(next_deliver_message_);
+      if (mit == reassembly_.end() || !mit->second.complete()) break;
+      DeliveredMessage msg;
+      msg.message_id = mit->second.message_id;
+      msg.sent_at = util::TimePoint::from_micros(
+          static_cast<std::int64_t>(mit->second.sent_us));
+      msg.delivered_at = now;
+      for (auto& [idx, chunk] : mit->second.chunks) {
+        msg.bytes.insert(msg.bytes.end(), chunk.begin(), chunk.end());
+      }
+      reassembly_.erase(mit);
+      delivered_.push_back(std::move(msg));
+      ++next_deliver_message_;
+      ++stats_.messages_delivered;
+    }
+  }
+
+  if (config_.ack_delay.is_zero()) {
+    send_ack(now);
+  } else if (!ack_pending_) {
+    ack_pending_ = true;
+    ack_due_ = now + config_.ack_delay;
+  }
+}
+
+void ReliableStream::send_ack(util::TimePoint now) {
+  ByteWriter w;
+  w.u32(rcv_next_);
+  // SACK hints: up to 8 out-of-order sequence numbers.
+  const std::uint32_t sack_count =
+      static_cast<std::uint32_t>(std::min<std::size_t>(out_of_order_.size(), 8));
+  w.u32(sack_count);
+  std::uint32_t written = 0;
+  for (const auto& [seq, _] : out_of_order_) {
+    if (written++ >= sack_count) break;
+    w.u32(seq);
+  }
+  w.u64(last_data_ts_us_);
+  const Payload packet = ProtocolHeader::seal(stream_id_, SegmentType::kAck, w.take());
+  channel_->send(reverse(data_dir_), packet, kAckWireSize, now);
+  ++stats_.acks_sent;
+  ack_pending_ = false;
+}
+
+void ReliableStream::on_ack(Payload body, util::TimePoint now) {
+  ByteReader r{body};
+  const std::uint32_t cum_ack = r.u32();
+  const std::uint32_t sack_count = r.u32();
+  std::vector<std::uint32_t> sacks;
+  sacks.reserve(sack_count);
+  for (std::uint32_t i = 0; i < sack_count && r.ok(); ++i) sacks.push_back(r.u32());
+  r.u64();  // echoed timestamp, unused: RTT comes from transmission records
+  if (!r.ok()) return;
+
+  if (cum_ack > last_cum_ack_) {
+    // New data acknowledged: clear in-flight prefix and sample RTT from any
+    // segment transmitted exactly once (Karn's algorithm).
+    for (auto it = in_flight_.begin(); it != in_flight_.end() && it->first < cum_ack;) {
+      if (it->second.transmissions == 1) update_rtt(now - it->second.first_sent);
+      it = in_flight_.erase(it);
+    }
+    last_cum_ack_ = cum_ack;
+    dup_ack_count_ = 0;
+    rto_backoff_ = 0;
+  } else if (cum_ack == last_cum_ack_ && !in_flight_.empty()) {
+    ++dup_ack_count_;
+    ++stats_.dup_acks_seen;
+    // Re-arm every three further duplicate ACKs so multiple losses within a
+    // window still recover without waiting for the RTO (SACK-era TCP).
+    if (config_.fast_retransmit && dup_ack_count_ % 3 == 0) {
+      auto it = in_flight_.find(cum_ack);
+      if (it != in_flight_.end()) {
+        transmit_segment(it->second.segment, now, /*retransmission=*/true);
+        ++stats_.retransmits_fast;
+      }
+    }
+  }
+
+  // SACK-based loss recovery: every in-flight segment below the highest
+  // SACKed sequence that is not itself SACKed has very likely been lost —
+  // retransmit a bounded number of them immediately instead of waiting for
+  // serial RTOs (this is what keeps sustained-loss links usable).
+  if (!sacks.empty() && config_.fast_retransmit) {
+    const std::uint32_t max_sack = *std::max_element(sacks.begin(), sacks.end());
+    const util::Duration hold_off = current_rto() / 2;
+    int budget = 4;
+    for (auto& [seq, inflight] : in_flight_) {
+      if (seq >= max_sack || budget == 0) break;
+      if (std::find(sacks.begin(), sacks.end(), seq) != sacks.end()) {
+        // Keep SACKed segments from driving the RTO timer.
+        inflight.last_sent = std::max(inflight.last_sent, now);
+        continue;
+      }
+      if (now - inflight.last_sent < hold_off) continue;
+      transmit_segment(inflight.segment, now, /*retransmission=*/true);
+      ++stats_.retransmits_fast;
+      --budget;
+    }
+  }
+}
+
+std::optional<DeliveredMessage> ReliableStream::pop_delivered() {
+  if (delivered_.empty()) return std::nullopt;
+  DeliveredMessage msg = std::move(delivered_.front());
+  delivered_.pop_front();
+  return msg;
+}
+
+}  // namespace rdsim::net

@@ -1,0 +1,88 @@
+#include "net/router.hpp"
+
+#include "net/serialization.hpp"
+
+namespace rdsim::net {
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+namespace {
+
+/// Checksum over everything the header protects: stream id, type, body —
+/// like the TCP checksum, any single corrupted bit invalidates the packet.
+std::uint32_t packet_checksum(std::uint16_t stream_id, std::uint8_t type,
+                              const Payload& body) {
+  const std::uint8_t prefix[3] = {static_cast<std::uint8_t>(stream_id & 0xff),
+                                  static_cast<std::uint8_t>(stream_id >> 8), type};
+  std::uint32_t h = fnv1a(prefix, sizeof prefix);
+  for (std::uint8_t b : body) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+Payload ProtocolHeader::seal(std::uint16_t stream_id, SegmentType type,
+                             const Payload& body) {
+  ByteWriter w;
+  w.u16(stream_id);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(packet_checksum(stream_id, static_cast<std::uint8_t>(type), body));
+  Payload out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<ParsedPacket> open_packet(const Payload& packet_payload) {
+  if (packet_payload.size() < ProtocolHeader::kSize) return std::nullopt;
+  ByteReader r{packet_payload};
+  ParsedPacket parsed;
+  parsed.header.stream_id = r.u16();
+  const std::uint8_t type = r.u8();
+  const std::uint32_t checksum = r.u32();
+  if (!r.ok()) return std::nullopt;
+  parsed.body.assign(packet_payload.begin() + ProtocolHeader::kSize, packet_payload.end());
+  if (packet_checksum(parsed.header.stream_id, type, parsed.body) != checksum) {
+    return std::nullopt;
+  }
+  if (type > static_cast<std::uint8_t>(SegmentType::kDatagram)) return std::nullopt;
+  parsed.header.type = static_cast<SegmentType>(type);
+  return parsed;
+}
+
+void PacketRouter::register_stream(std::uint16_t stream_id, Handler handler) {
+  handlers_[stream_id] = std::move(handler);
+}
+
+void PacketRouter::poll(util::TimePoint now) {
+  channel_->step(now);
+  drain(LinkDirection::kDownlink, now);
+  drain(LinkDirection::kUplink, now);
+}
+
+void PacketRouter::drain(LinkDirection dir, util::TimePoint now) {
+  while (auto packet = channel_->receive(dir)) {
+    auto parsed = open_packet(packet->payload);
+    if (!parsed) {
+      ++checksum_failures_;
+      continue;
+    }
+    const auto it = handlers_.find(parsed->header.stream_id);
+    if (it == handlers_.end()) {
+      ++unroutable_;
+      continue;
+    }
+    it->second(parsed->header, std::move(parsed->body), dir, now);
+  }
+}
+
+}  // namespace rdsim::net

@@ -1,0 +1,103 @@
+// Little-endian byte serialization for protocol messages.
+//
+// Deliberately tiny: fixed-width integers, doubles, strings and blobs.
+// Readers are bounds-checked and report truncation instead of crashing,
+// because the corrupt qdisc can hand us damaged bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rdsim::net {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i32(std::int32_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void f64(double v) { append(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    append(b.data(), b.size());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_{buf.data()}, size_{buf.size()} {}
+  ByteReader(const std::uint8_t* data, std::size_t size) : buf_{data}, size_{size} {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint16_t u16() { return get<std::uint16_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int32_t i32() { return get<std::int32_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> b(buf_ + pos_, buf_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    T v{};
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return v;
+    }
+    std::memcpy(&v, buf_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* buf_;
+  std::size_t size_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace rdsim::net

@@ -1,0 +1,50 @@
+#include "net/tbf.hpp"
+
+#include <algorithm>
+
+namespace rdsim::net {
+
+void TbfQdisc::refill(util::TimePoint now) {
+  const double dt = (now - last_refill_).to_seconds();
+  if (dt > 0.0) {
+    tokens_ = std::min(config_.burst_bytes, tokens_ + dt * config_.rate_bytes_per_s);
+    last_refill_ = now;
+  }
+}
+
+void TbfQdisc::enqueue(Packet packet, util::TimePoint now) {
+  ++stats_.enqueued;
+  packet.enqueued_at = now;
+  if (queue_.size() >= config_.limit) {
+    ++stats_.dropped_overlimit;
+    return;
+  }
+  refill(now);
+  queue_.push_back(std::move(packet));
+}
+
+std::vector<Packet> TbfQdisc::dequeue_ready(util::TimePoint now) {
+  refill(now);
+  std::vector<Packet> out;
+  while (!queue_.empty()) {
+    const double cost = queue_.front().effective_wire_size();
+    if (tokens_ < cost) break;
+    tokens_ -= cost;
+    ++stats_.dequeued;
+    stats_.bytes_sent += static_cast<std::uint64_t>(cost);
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+std::optional<util::TimePoint> TbfQdisc::next_event() const {
+  if (queue_.empty()) return std::nullopt;
+  const double deficit =
+      static_cast<double>(queue_.front().effective_wire_size()) - tokens_;
+  if (deficit <= 0.0) return last_refill_;
+  const double wait_s = deficit / config_.rate_bytes_per_s;
+  return last_refill_ + util::Duration::seconds(wait_s);
+}
+
+}  // namespace rdsim::net

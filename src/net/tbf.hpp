@@ -1,0 +1,44 @@
+// Token Bucket Filter qdisc (`tc qdisc add ... tbf rate ... burst ...`).
+//
+// Included because the paper's related work shapes bandwidth; our default
+// experiments do not rate-limit but the ablation benches exercise it.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "net/qdisc.hpp"
+
+namespace rdsim::net {
+
+struct TbfConfig {
+  double rate_bytes_per_s{125000.0};  ///< sustained rate (default 1 Mbit/s)
+  double burst_bytes{16000.0};        ///< bucket depth
+  std::size_t limit{1000};            ///< queue limit, packets
+};
+
+class TbfQdisc final : public Qdisc {
+ public:
+  explicit TbfQdisc(TbfConfig config) : config_{config}, tokens_{config.burst_bytes} {}
+
+  const TbfConfig& config() const { return config_; }
+
+  void enqueue(Packet packet, util::TimePoint now) override;
+  std::vector<Packet> dequeue_ready(util::TimePoint now) override;
+  std::optional<util::TimePoint> next_event() const override;
+  std::size_t backlog() const override { return queue_.size(); }
+  void clear() override { queue_.clear(); }
+  const QdiscStats& stats() const override { return stats_; }
+  std::string kind() const override { return "tbf"; }
+
+ private:
+  void refill(util::TimePoint now);
+
+  TbfConfig config_;
+  double tokens_;
+  util::TimePoint last_refill_{};
+  std::deque<Packet> queue_;
+  QdiscStats stats_;
+};
+
+}  // namespace rdsim::net

@@ -1,0 +1,267 @@
+#include "net/tc.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace rdsim::net {
+
+namespace {
+
+/// Split on whitespace.
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is{s};
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Leading numeric part of a token; returns consumed length.
+double leading_number(const std::string& token, std::size_t& consumed) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  const auto res = std::from_chars(begin, end, value);
+  if (res.ec != std::errc{} || res.ptr == begin) {
+    throw TcParseError{"expected a number in token '" + token + "'"};
+  }
+  consumed = static_cast<std::size_t>(res.ptr - begin);
+  return value;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool looks_numeric(const std::string& token) {
+  return !token.empty() &&
+         (std::isdigit(static_cast<unsigned char>(token[0])) || token[0] == '.' ||
+          token[0] == '-');
+}
+
+}  // namespace
+
+util::Duration parse_duration(const std::string& token) {
+  std::size_t consumed = 0;
+  const double value = leading_number(token, consumed);
+  const std::string unit = lower(token.substr(consumed));
+  if (unit.empty() || unit == "ms" || unit == "msec" || unit == "msecs") {
+    return util::Duration::seconds(value / 1e3);
+  }
+  if (unit == "us" || unit == "usec" || unit == "usecs") {
+    return util::Duration::micros(static_cast<std::int64_t>(value));
+  }
+  if (unit == "s" || unit == "sec" || unit == "secs") {
+    return util::Duration::seconds(value);
+  }
+  throw TcParseError{"unknown time unit in '" + token + "'"};
+}
+
+double parse_percent(const std::string& token) {
+  std::size_t consumed = 0;
+  const double value = leading_number(token, consumed);
+  const std::string suffix = token.substr(consumed);
+  double p = 0.0;
+  if (suffix == "%") {
+    p = value / 100.0;
+  } else if (suffix.empty()) {
+    p = value;  // bare fraction
+  } else {
+    throw TcParseError{"expected percentage, got '" + token + "'"};
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw TcParseError{"percentage out of range in '" + token + "'"};
+  }
+  return p;
+}
+
+double parse_rate_bytes_per_s(const std::string& token) {
+  std::size_t consumed = 0;
+  const double value = leading_number(token, consumed);
+  const std::string unit = lower(token.substr(consumed));
+  if (unit == "bit") return value / 8.0;
+  if (unit == "kbit") return value * 1000.0 / 8.0;
+  if (unit == "mbit") return value * 1000.0 * 1000.0 / 8.0;
+  if (unit == "gbit") return value * 1000.0 * 1000.0 * 1000.0 / 8.0;
+  if (unit == "bps" || unit.empty()) return value;
+  if (unit == "kbps") return value * 1000.0;
+  if (unit == "mbps") return value * 1000.0 * 1000.0;
+  throw TcParseError{"unknown rate unit in '" + token + "'"};
+}
+
+NetemConfig parse_netem_args(const std::vector<std::string>& args) {
+  NetemConfig cfg;
+  std::size_t i = 0;
+  auto next = [&]() -> const std::string& {
+    if (i >= args.size()) throw TcParseError{"unexpected end of netem arguments"};
+    return args[i++];
+  };
+  auto peek_numeric = [&]() { return i < args.size() && looks_numeric(args[i]); };
+
+  while (i < args.size()) {
+    const std::string key = lower(next());
+    if (key == "delay") {
+      cfg.delay = parse_duration(next());
+      if (peek_numeric()) cfg.jitter = parse_duration(next());
+      if (peek_numeric()) cfg.delay_correlation = parse_percent(next());
+    } else if (key == "distribution") {
+      const std::string d = lower(next());
+      if (d == "uniform") {
+        cfg.distribution = DelayDistribution::kUniform;
+      } else if (d == "normal") {
+        cfg.distribution = DelayDistribution::kNormal;
+      } else if (d == "pareto") {
+        cfg.distribution = DelayDistribution::kPareto;
+      } else if (d == "paretonormal") {
+        cfg.distribution = DelayDistribution::kParetoNormal;
+      } else {
+        throw TcParseError{"unknown distribution '" + d + "'"};
+      }
+    } else if (key == "loss") {
+      if (i < args.size() && lower(args[i]) == "gemodel") {
+        ++i;
+        GilbertElliott ge;
+        ge.p = parse_percent(next());
+        if (peek_numeric()) ge.r = parse_percent(next());
+        if (peek_numeric()) ge.h = 1.0 - parse_percent(next());  // tc: 1-h
+        if (peek_numeric()) ge.k = parse_percent(next());
+        cfg.gemodel = ge;
+      } else {
+        cfg.loss_probability = parse_percent(next());
+        if (peek_numeric()) cfg.loss_correlation = parse_percent(next());
+      }
+    } else if (key == "duplicate") {
+      cfg.duplicate_probability = parse_percent(next());
+      if (peek_numeric()) cfg.duplicate_correlation = parse_percent(next());
+    } else if (key == "corrupt") {
+      cfg.corrupt_probability = parse_percent(next());
+      if (peek_numeric()) cfg.corrupt_correlation = parse_percent(next());
+    } else if (key == "reorder") {
+      cfg.reorder_probability = parse_percent(next());
+      if (peek_numeric()) cfg.reorder_correlation = parse_percent(next());
+    } else if (key == "gap") {
+      const std::string g = next();
+      std::size_t consumed = 0;
+      cfg.reorder_gap = static_cast<std::uint32_t>(leading_number(g, consumed));
+      if (cfg.reorder_gap == 0) cfg.reorder_gap = 1;
+    } else if (key == "rate") {
+      cfg.rate_bytes_per_s = parse_rate_bytes_per_s(next());
+    } else if (key == "limit") {
+      const std::string l = next();
+      std::size_t consumed = 0;
+      cfg.limit = static_cast<std::size_t>(leading_number(l, consumed));
+    } else {
+      throw TcParseError{"unknown netem keyword '" + key + "'"};
+    }
+  }
+  return cfg;
+}
+
+NetemConfig parse_netem(const std::string& spec) {
+  auto tokens = tokenize(spec);
+  if (!tokens.empty() && lower(tokens.front()) == "netem") {
+    tokens.erase(tokens.begin());
+  }
+  return parse_netem_args(tokens);
+}
+
+TrafficControl::Entry& TrafficControl::entry(const std::string& device) {
+  auto it = table_.find(device);
+  if (it == table_.end()) {
+    Entry e;
+    e.qdisc = std::make_unique<FifoQdisc>();
+    it = table_.emplace(device, std::move(e)).first;
+  }
+  return it->second;
+}
+
+void TrafficControl::add(const std::string& device, const NetemConfig& config) {
+  Entry& e = entry(device);
+  if (e.is_netem) {
+    throw TcParseError{"RTNETLINK answers: File exists (netem already installed on " +
+                       device + ")"};
+  }
+  e.qdisc = std::make_unique<NetemQdisc>(config, seed_ + next_stream_++);
+  e.is_netem = true;
+}
+
+void TrafficControl::change(const std::string& device, const NetemConfig& config) {
+  Entry& e = entry(device);
+  if (!e.is_netem) {
+    throw TcParseError{"cannot change: no netem qdisc installed on " + device};
+  }
+  static_cast<NetemQdisc&>(*e.qdisc).change(config);
+}
+
+void TrafficControl::del(const std::string& device) {
+  Entry& e = entry(device);
+  if (!e.is_netem) {
+    throw TcParseError{"RTNETLINK answers: No such file or directory (no netem on " +
+                       device + ")"};
+  }
+  e.qdisc = std::make_unique<FifoQdisc>();
+  e.is_netem = false;
+}
+
+std::string TrafficControl::execute(const std::string& command) {
+  auto tokens = tokenize(command);
+  // Accept an optional leading "tc".
+  std::size_t i = 0;
+  if (i < tokens.size() && lower(tokens[i]) == "tc") ++i;
+  auto expect = [&](const std::string& word) {
+    if (i >= tokens.size() || lower(tokens[i]) != word) {
+      throw TcParseError{"expected '" + word + "' in tc command"};
+    }
+    ++i;
+  };
+  expect("qdisc");
+  if (i >= tokens.size()) throw TcParseError{"missing verb in tc command"};
+  const std::string verb = lower(tokens[i++]);
+  expect("dev");
+  if (i >= tokens.size()) throw TcParseError{"missing device in tc command"};
+  const std::string device = tokens[i++];
+  expect("root");
+
+  if (verb == "del") {
+    del(device);
+    return device;
+  }
+  expect("netem");
+  const std::vector<std::string> rest{tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                                      tokens.end()};
+  const NetemConfig cfg = parse_netem_args(rest);
+  if (verb == "add") {
+    add(device, cfg);
+  } else if (verb == "change") {
+    change(device, cfg);
+  } else {
+    throw TcParseError{"unknown tc verb '" + verb + "'"};
+  }
+  return device;
+}
+
+Qdisc& TrafficControl::root(const std::string& device) { return *entry(device).qdisc; }
+
+bool TrafficControl::has_netem(const std::string& device) const {
+  const auto it = table_.find(device);
+  return it != table_.end() && it->second.is_netem;
+}
+
+std::optional<NetemConfig> TrafficControl::netem_config(const std::string& device) const {
+  const auto it = table_.find(device);
+  if (it == table_.end() || !it->second.is_netem) return std::nullopt;
+  return static_cast<const NetemQdisc&>(*it->second.qdisc).config();
+}
+
+std::vector<std::string> TrafficControl::devices() const {
+  std::vector<std::string> out;
+  out.reserve(table_.size());
+  for (const auto& [name, _] : table_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rdsim::net

@@ -1,0 +1,118 @@
+#include "sim/actor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdsim::sim {
+
+namespace {
+
+/// Pure-pursuit steering towards a point ahead on the target line.
+double pursuit_steer(const Actor& actor, const RoadNetwork& road, double target_lateral,
+                     double lookahead_m) {
+  const double s = actor.track_s();
+  const util::Pose target = road.sample_offset(s + lookahead_m, target_lateral);
+  const util::Vec2 local = actor.pose().to_local(target.position);
+  const double d2 = std::max(local.norm_sq(), 1.0);
+  const double curvature = 2.0 * local.y / d2;
+  const double wheel_angle =
+      std::atan(curvature * actor.vehicle().params().wheelbase);
+  const double max_angle = util::deg_to_rad(actor.vehicle().params().max_steer_deg);
+  return util::clamp(wheel_angle / max_angle, -1.0, 1.0);
+}
+
+/// Longitudinal P control producing throttle/brake.
+void speed_control(VehicleControl& control, double current, double target) {
+  const double err = target - current;
+  if (err >= 0.0) {
+    control.throttle = util::clamp(0.5 * err, 0.0, 1.0);
+    control.brake = 0.0;
+  } else {
+    control.throttle = 0.0;
+    control.brake = util::clamp(-0.4 * err, 0.0, 1.0);
+  }
+}
+
+}  // namespace
+
+LaneFollowController::LaneFollowController(int lane, double cruise_speed)
+    : lane_{lane}, cruise_speed_{cruise_speed} {}
+
+void LaneFollowController::set_speed_profile(std::vector<SpeedPoint> profile) {
+  profile_ = std::move(profile);
+  std::sort(profile_.begin(), profile_.end(),
+            [](const SpeedPoint& a, const SpeedPoint& b) { return a.s < b.s; });
+}
+
+double LaneFollowController::target_speed_at(double s) const {
+  if (profile_.empty()) return cruise_speed_;
+  double speed = profile_.front().speed;
+  for (const SpeedPoint& p : profile_) {
+    if (s >= p.s) {
+      speed = p.speed;
+    } else {
+      break;
+    }
+  }
+  return speed;
+}
+
+void LaneFollowController::update(Actor& actor, const RoadNetwork& road, double dt) {
+  (void)dt;
+  const auto proj = road.project(actor.state().position, actor.track_s());
+  actor.set_track_s(proj.s);
+
+  VehicleControl control;
+  const double speed = actor.vehicle().forward_speed();
+  const double lookahead = std::max(6.0, 1.2 * speed);
+  control.steer =
+      pursuit_steer(actor, road, road.lane_center_offset(lane_), lookahead);
+  speed_control(control, speed, target_speed_at(proj.s));
+  actor.vehicle().apply_control(control);
+}
+
+WalkerController::WalkerController(double walk_speed, double target_lateral)
+    : walk_speed_{walk_speed}, target_lateral_{target_lateral} {}
+
+void WalkerController::update(Actor& actor, const RoadNetwork& road, double dt) {
+  if (!crossing_ || done_ || dt <= 0.0) return;
+  const auto proj = road.project(actor.state().position, actor.track_s());
+  actor.set_track_s(proj.s);
+  const double remaining = target_lateral_ - proj.lateral;
+  const double dir = remaining >= 0.0 ? 1.0 : -1.0;
+  const double step = std::min(walk_speed_ * dt, std::fabs(remaining));
+  const util::Vec2 left = util::Vec2::from_heading(road.heading_at(proj.s)).perp();
+
+  KinematicState st = actor.state();
+  st.position += left * (dir * step);
+  st.velocity = left * (dir * walk_speed_);
+  st.heading = (left * dir).heading();
+  if (std::fabs(remaining) <= step + 1e-9) {
+    done_ = true;
+    st.velocity = {};
+  }
+  actor.vehicle().set_state(st);
+}
+
+CyclistController::CyclistController(double speed, double edge_offset, double wobble_amp,
+                                     double wobble_period_s)
+    : speed_{speed},
+      edge_offset_{edge_offset},
+      wobble_amp_{wobble_amp},
+      wobble_period_{wobble_period_s} {}
+
+void CyclistController::update(Actor& actor, const RoadNetwork& road, double dt) {
+  phase_ += dt;
+  const auto proj = road.project(actor.state().position, actor.track_s());
+  actor.set_track_s(proj.s);
+
+  const double wobble =
+      wobble_amp_ * std::sin(2.0 * std::numbers::pi * phase_ / wobble_period_);
+  VehicleControl control;
+  const double speed = actor.vehicle().forward_speed();
+  control.steer = pursuit_steer(actor, road, edge_offset_ + wobble, 4.0);
+  speed_control(control, speed, speed_);
+  actor.vehicle().apply_control(control);
+}
+
+}  // namespace rdsim::sim

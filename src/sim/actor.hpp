@@ -1,0 +1,133 @@
+// Actors: every dynamic or static object in the world that the sensors can
+// see and the ego vehicle can hit. Non-ego road users are driven by small
+// behaviour controllers (CARLA's "autopilot" role in the paper's scenarios).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/road.hpp"
+#include "sim/vehicle.hpp"
+
+namespace rdsim::sim {
+
+class Actor;
+
+/// Behaviour controller for scripted road users.
+class ActorController {
+ public:
+  virtual ~ActorController() = default;
+  virtual void update(Actor& actor, const RoadNetwork& road, double dt) = 0;
+};
+
+class Actor {
+ public:
+  Actor(ActorId id, ActorKind kind, VehicleParams params)
+      : id_{id}, kind_{kind}, vehicle_{params} {}
+
+  ActorId id() const { return id_; }
+  ActorKind kind() const { return kind_; }
+  const std::string& role() const { return role_; }
+  void set_role(std::string role) { role_ = std::move(role); }
+
+  Vehicle& vehicle() { return vehicle_; }
+  const Vehicle& vehicle() const { return vehicle_; }
+  const KinematicState& state() const { return vehicle_.state(); }
+  const BoundingBox& bbox() const { return vehicle_.params().bbox; }
+  util::Pose pose() const { return vehicle_.state().pose(); }
+
+  void set_controller(std::unique_ptr<ActorController> controller) {
+    controller_ = std::move(controller);
+  }
+  bool has_controller() const { return controller_ != nullptr; }
+
+  /// Track-position cache, maintained by the world for cheap projection.
+  double track_s() const { return track_s_; }
+  void set_track_s(double s) { track_s_ = s; }
+
+  void step(const RoadNetwork& road, double dt) {
+    if (controller_) controller_->update(*this, road, dt);
+    // Static vehicles don't move; walkers are integrated by their
+    // controller, not by the wheeled-plant dynamics.
+    if (kind_ != ActorKind::kStaticVehicle && kind_ != ActorKind::kWalker) {
+      vehicle_.step(dt);
+    }
+  }
+
+ private:
+  ActorId id_;
+  ActorKind kind_;
+  std::string role_;
+  Vehicle vehicle_;
+  std::unique_ptr<ActorController> controller_;
+  double track_s_{0.0};
+};
+
+/// Follows a lane at a scripted speed profile — the "dynamic vehicle" the
+/// test subjects follow and overtake (§V.B). Speed breakpoints are linear in
+/// the controller's own track position.
+class LaneFollowController final : public ActorController {
+ public:
+  struct SpeedPoint {
+    double s;        ///< breakpoint position along the route
+    double speed;    ///< m/s target from this position on
+  };
+
+  LaneFollowController(int lane, double cruise_speed);
+
+  /// Replace the constant cruise speed with a piecewise profile.
+  void set_speed_profile(std::vector<SpeedPoint> profile);
+  void set_lane(int lane) { lane_ = lane; }
+
+  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+
+ private:
+  double target_speed_at(double s) const;
+
+  int lane_;
+  double cruise_speed_;
+  std::vector<SpeedPoint> profile_;
+};
+
+/// A pedestrian crossing the carriageway at walking pace. Starts parked at
+/// the roadside; once switched to crossing (typically by a scenario
+/// trigger when the ego approaches) it walks laterally across the lanes and
+/// stops on the far side. Motion is integrated directly — walkers are not
+/// wheeled plants.
+class WalkerController final : public ActorController {
+ public:
+  /// `walk_speed` m/s; `target_lateral` where the walker stops (far kerb).
+  WalkerController(double walk_speed, double target_lateral);
+
+  void start_crossing() { crossing_ = true; }
+  bool crossing() const { return crossing_; }
+  bool done() const { return done_; }
+
+  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+
+ private:
+  double walk_speed_;
+  double target_lateral_;
+  bool crossing_{false};
+  bool done_{false};
+};
+
+/// Rides near the right road edge at cycling speed with a gentle wobble —
+/// the "false test case" road users a remote driver might misread (§V.B).
+class CyclistController final : public ActorController {
+ public:
+  CyclistController(double speed, double edge_offset, double wobble_amp = 0.15,
+                    double wobble_period_s = 3.0);
+
+  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+
+ private:
+  double speed_;
+  double edge_offset_;
+  double wobble_amp_;
+  double wobble_period_;
+  double phase_{0.0};
+};
+
+}  // namespace rdsim::sim

@@ -1,0 +1,42 @@
+// World snapshot frames — the simulator's "camera".
+//
+// In the paper the CARLA server streams rendered video to the driving
+// station at 25–30 fps (§V.A). The operator model does not consume pixels;
+// what the remote driver extracts from the video is the state of the scene.
+// A WorldFrame is therefore the semantic content of one video frame: the ego
+// state plus every visible road user, timestamped with simulation time. Its
+// *declared wire size* models the encoded video bitrate so the network layer
+// accounts it like real traffic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/serialization.hpp"
+#include "sim/types.hpp"
+
+namespace rdsim::sim {
+
+struct ActorSnapshot {
+  ActorId id{kInvalidActor};
+  ActorKind kind{ActorKind::kVehicle};
+  KinematicState state{};
+  BoundingBox bbox{};
+  VehicleControl control{};
+};
+
+struct WorldFrame {
+  std::uint32_t frame_id{0};
+  std::int64_t sim_time_us{0};
+  ActorSnapshot ego{};
+  std::vector<ActorSnapshot> others{};
+  WeatherConfig weather{};
+
+  double sim_time_s() const { return static_cast<double>(sim_time_us) / 1e6; }
+
+  net::Payload encode() const;
+  static std::optional<WorldFrame> decode(const net::Payload& bytes);
+};
+
+}  // namespace rdsim::sim

@@ -1,0 +1,294 @@
+#include "sim/rpc.hpp"
+
+namespace rdsim::sim {
+
+namespace {
+
+void encode_control(net::ByteWriter& w, const VehicleControl& c) {
+  w.f64(c.throttle);
+  w.f64(c.steer);
+  w.f64(c.brake);
+  w.u8(c.reverse ? 1 : 0);
+  w.u8(c.hand_brake ? 1 : 0);
+}
+
+VehicleControl decode_control(net::ByteReader& r) {
+  VehicleControl c;
+  c.throttle = r.f64();
+  c.steer = r.f64();
+  c.brake = r.f64();
+  c.reverse = r.u8() != 0;
+  c.hand_brake = r.u8() != 0;
+  return c;
+}
+
+}  // namespace
+
+net::Payload RpcRequest::encode() const {
+  net::ByteWriter w;
+  w.u32(request_id);
+  w.u8(static_cast<std::uint8_t>(opcode));
+  switch (opcode) {
+    case RpcOpcode::kHello:
+      break;
+    case RpcOpcode::kSpawnVehicle:
+      w.u8(static_cast<std::uint8_t>(kind));
+      w.f64(spawn_s);
+      w.f64(spawn_lateral);
+      w.f64(initial_speed);
+      w.str(role);
+      break;
+    case RpcOpcode::kDestroyActor:
+      w.u32(actor);
+      break;
+    case RpcOpcode::kSetWeather:
+      w.u8(weather.night ? 1 : 0);
+      w.f64(weather.fog_density);
+      break;
+    case RpcOpcode::kApplyControl:
+      w.u32(actor);
+      encode_control(w, control);
+      break;
+    case RpcOpcode::kGetSnapshot:
+      break;
+    case RpcOpcode::kSubscribeFrames:
+      w.f64(fps);
+      break;
+  }
+  return w.take();
+}
+
+std::optional<RpcRequest> RpcRequest::decode(const net::Payload& bytes) {
+  net::ByteReader r{bytes};
+  RpcRequest req;
+  req.request_id = r.u32();
+  const std::uint8_t op = r.u8();
+  if (!r.ok() || op > static_cast<std::uint8_t>(RpcOpcode::kSubscribeFrames)) {
+    return std::nullopt;
+  }
+  req.opcode = static_cast<RpcOpcode>(op);
+  switch (req.opcode) {
+    case RpcOpcode::kHello:
+      break;
+    case RpcOpcode::kSpawnVehicle:
+      req.kind = static_cast<ActorKind>(r.u8());
+      req.spawn_s = r.f64();
+      req.spawn_lateral = r.f64();
+      req.initial_speed = r.f64();
+      req.role = r.str();
+      break;
+    case RpcOpcode::kDestroyActor:
+      req.actor = r.u32();
+      break;
+    case RpcOpcode::kSetWeather:
+      req.weather.night = r.u8() != 0;
+      req.weather.fog_density = r.f64();
+      break;
+    case RpcOpcode::kApplyControl:
+      req.actor = r.u32();
+      req.control = decode_control(r);
+      break;
+    case RpcOpcode::kGetSnapshot:
+      break;
+    case RpcOpcode::kSubscribeFrames:
+      req.fps = r.f64();
+      break;
+  }
+  if (!r.ok()) return std::nullopt;
+  return req;
+}
+
+net::Payload RpcResponse::encode() const {
+  net::ByteWriter w;
+  w.u32(request_id);
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.u32(actor);
+  if (snapshot) {
+    w.u8(1);
+    w.bytes(snapshot->encode());
+  } else {
+    w.u8(0);
+  }
+  return w.take();
+}
+
+std::optional<RpcResponse> RpcResponse::decode(const net::Payload& bytes) {
+  net::ByteReader r{bytes};
+  RpcResponse resp;
+  resp.request_id = r.u32();
+  resp.ok = r.u8() != 0;
+  resp.error = r.str();
+  resp.actor = r.u32();
+  if (r.u8() != 0) {
+    resp.snapshot = WorldFrame::decode(r.bytes());
+    if (!resp.snapshot) return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return resp;
+}
+
+// ----- server -----
+
+SimServer::SimServer(World& world, RpcTransport& transport)
+    : world_{&world}, transport_{&transport} {}
+
+RpcResponse SimServer::execute(const RpcRequest& request) {
+  RpcResponse resp;
+  resp.request_id = request.request_id;
+  resp.ok = true;
+  switch (request.opcode) {
+    case RpcOpcode::kHello:
+      break;
+    case RpcOpcode::kSpawnVehicle:
+      resp.actor = world_->spawn_at_offset(request.kind, request.spawn_s,
+                                           request.spawn_lateral, {},
+                                           request.initial_speed, request.role);
+      break;
+    case RpcOpcode::kDestroyActor:
+      if (world_->find(request.actor) == nullptr) {
+        resp.ok = false;
+        resp.error = "no such actor";
+      } else {
+        world_->destroy(request.actor);
+      }
+      break;
+    case RpcOpcode::kSetWeather:
+      world_->set_weather(request.weather);
+      break;
+    case RpcOpcode::kApplyControl:
+      if (Actor* a = world_->find(request.actor)) {
+        a->vehicle().apply_control(request.control);
+      } else {
+        resp.ok = false;
+        resp.error = "no such actor";
+      }
+      break;
+    case RpcOpcode::kGetSnapshot:
+      resp.snapshot = world_->snapshot();
+      break;
+    case RpcOpcode::kSubscribeFrames:
+      if (request.fps <= 0.0 || request.fps > 120.0) {
+        resp.ok = false;
+        resp.error = "fps out of range";
+      } else {
+        frame_interval_ = util::Duration::seconds(1.0 / request.fps);
+      }
+      break;
+  }
+  return resp;
+}
+
+void SimServer::step(util::TimePoint now) {
+  transport_->step(now);
+  while (auto msg = transport_->requests.pop_delivered()) {
+    const auto request = RpcRequest::decode(msg->bytes);
+    RpcResponse resp;
+    if (request) {
+      resp = execute(*request);
+    } else {
+      resp.ok = false;
+      resp.error = "malformed request";
+    }
+    ++requests_served_;
+    transport_->responses.send_message(resp.encode(), 256, now);
+  }
+  if (frame_interval_ && now >= next_frame_) {
+    next_frame_ = now + *frame_interval_;
+    transport_->frames.send_message(world_->snapshot().encode(), frame_wire_bytes_, now);
+    ++frames_streamed_;
+  }
+}
+
+// ----- client -----
+
+SimClient::SimClient(RpcTransport& transport) : transport_{&transport} {}
+
+std::uint32_t SimClient::send(RpcRequest request) {
+  request.request_id = next_request_++;
+  transport_->requests.send_message(request.encode(), 256, now_);
+  ++pending_;
+  return request.request_id;
+}
+
+std::uint32_t SimClient::hello() { return send({}); }
+
+std::uint32_t SimClient::spawn_vehicle(ActorKind kind, double s, double lateral,
+                                       double initial_speed, std::string role) {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kSpawnVehicle;
+  req.kind = kind;
+  req.spawn_s = s;
+  req.spawn_lateral = lateral;
+  req.initial_speed = initial_speed;
+  req.role = std::move(role);
+  return send(std::move(req));
+}
+
+std::uint32_t SimClient::destroy_actor(ActorId id) {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kDestroyActor;
+  req.actor = id;
+  return send(std::move(req));
+}
+
+std::uint32_t SimClient::set_weather(const WeatherConfig& weather) {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kSetWeather;
+  req.weather = weather;
+  return send(std::move(req));
+}
+
+std::uint32_t SimClient::apply_control(ActorId actor, const VehicleControl& control) {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kApplyControl;
+  req.actor = actor;
+  req.control = control;
+  return send(std::move(req));
+}
+
+std::uint32_t SimClient::get_snapshot() {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kGetSnapshot;
+  return send(std::move(req));
+}
+
+std::uint32_t SimClient::subscribe_frames(double fps) {
+  RpcRequest req;
+  req.opcode = RpcOpcode::kSubscribeFrames;
+  req.fps = fps;
+  return send(std::move(req));
+}
+
+void SimClient::step(util::TimePoint now) {
+  now_ = now;
+  while (auto msg = transport_->responses.pop_delivered()) {
+    if (auto resp = RpcResponse::decode(msg->bytes)) {
+      if (pending_ > 0) --pending_;
+      arrived_[resp->request_id] = std::move(*resp);
+    }
+  }
+  while (auto msg = transport_->frames.pop_delivered()) {
+    if (auto frame = WorldFrame::decode(msg->bytes)) {
+      if (!latest_frame_ || frame->frame_id >= latest_frame_->frame_id) {
+        latest_frame_ = std::move(frame);
+      }
+    }
+  }
+}
+
+std::optional<RpcResponse> SimClient::take_response(std::uint32_t request_id) {
+  const auto it = arrived_.find(request_id);
+  if (it == arrived_.end()) return std::nullopt;
+  RpcResponse resp = std::move(it->second);
+  arrived_.erase(it);
+  return resp;
+}
+
+std::optional<WorldFrame> SimClient::take_frame() {
+  std::optional<WorldFrame> out;
+  out.swap(latest_frame_);
+  return out;
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,269 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+namespace rdsim::sim {
+
+DriveInstruction Scenario::instruction_at(double s) const {
+  DriveInstruction current;
+  current.target_lane = ego_start_lane;
+  current.target_speed = 10.0;
+  for (const DriveInstruction& instr : instructions) {
+    if (s >= instr.from_s && s < instr.to_s) current = instr;
+  }
+  return current;
+}
+
+std::optional<PoiWindow> Scenario::poi_at(double s) const {
+  for (const PoiWindow& poi : pois) {
+    if (s >= poi.from_s && s < poi.to_s) return poi;
+  }
+  return std::nullopt;
+}
+
+ScenarioRuntime::ScenarioRuntime(Scenario scenario, World& world)
+    : scenario_{std::move(scenario)}, world_{&world} {
+  world_->set_weather(scenario_.weather);
+  ego_id_ = world_->spawn_on_road(ActorKind::kVehicle, scenario_.ego_start_s,
+                                  scenario_.ego_start_lane, {},
+                                  scenario_.ego_initial_speed, "ego");
+  world_->designate_ego(ego_id_);
+  if (scenario_.populate) scenario_.populate(*world_);
+  fired_.assign(scenario_.triggers.size(), false);
+}
+
+double ScenarioRuntime::ego_s() const { return world_->ego().track_s(); }
+
+void ScenarioRuntime::step() {
+  const double s = ego_s();
+  for (std::size_t i = 0; i < scenario_.triggers.size(); ++i) {
+    if (!fired_[i] && s >= scenario_.triggers[i].ego_s) {
+      scenario_.triggers[i].action(*world_);
+      fired_[i] = true;
+    }
+  }
+}
+
+bool ScenarioRuntime::complete() const { return ego_s() >= scenario_.end_s; }
+
+bool ScenarioRuntime::timed_out() const {
+  return world_->now().to_seconds() >= scenario_.time_limit_s;
+}
+
+namespace {
+
+/// Spawn the lead vehicle for a following leg: starts `gap` ahead of
+/// `ego_anchor_s`, follows lane 0 with the given speed profile.
+void spawn_lead(World& world, double s, std::vector<LaneFollowController::SpeedPoint> profile,
+                double initial_speed, const std::string& role) {
+  const ActorId id =
+      world.spawn_on_road(ActorKind::kVehicle, s, 0, {}, initial_speed, role);
+  auto ctl = std::make_unique<LaneFollowController>(0, initial_speed);
+  ctl->set_speed_profile(std::move(profile));
+  world.set_controller(id, std::move(ctl));
+}
+
+void spawn_parked(World& world, double s, int lane, const std::string& role,
+                  double sloppy_offset = 0.0) {
+  // Broken-down vehicles rarely sit dead-centre; `sloppy_offset` shifts
+  // them toward the passing lane, tightening the gap the subject must
+  // thread (positive = left).
+  const double lateral = world.road().lane_center_offset(lane) + sloppy_offset;
+  world.spawn_at_offset(ActorKind::kStaticVehicle, s, lateral, {}, 0.0, role);
+}
+
+void spawn_cyclist(World& world, double s, const std::string& role) {
+  // Near the right road edge: visible, uncomfortable, but no intervention
+  // actually required — the §V.B "false test case".
+  const ActorId id =
+      world.spawn_at_offset(ActorKind::kCyclist, s, -1.45, {}, 4.0, role);
+  world.set_controller(id, std::make_unique<CyclistController>(4.0, -1.45));
+}
+
+}  // namespace
+
+Scenario make_test_route_scenario() {
+  Scenario sc;
+  sc.name = "test-route";
+  sc.ego_start_s = 0.0;
+  sc.ego_start_lane = 0;
+  sc.ego_initial_speed = 8.0;
+  sc.end_s = 2400.0;
+  sc.time_limit_s = 420.0;
+
+  // ---- instruction sheet ----
+  // Leg 1 (0-600): follow the lead vehicle in lane 0.
+  sc.instructions.push_back({0.0, 600.0, 0, 11.0, 0.0, "follow lead vehicle"});
+  // Leg 2 (600-980): slalom between sloppily parked vehicles, 70 m apart —
+  // one continuous weave, each obstacle passed mid-transition. Nominal
+  // clearance ~1.3 m: comfortable with a live view, tight when the view
+  // stalls mid-lane-change.
+  sc.instructions.push_back({600.0, 660.0, 1, 10.5, 0.0, "left past parked #1"});
+  sc.instructions.push_back({660.0, 730.0, 0, 10.5, 0.0, "right past parked #2"});
+  sc.instructions.push_back({730.0, 830.0, 1, 10.5, 0.0, "left past parked #3"});
+  sc.instructions.push_back({830.0, 980.0, 0, 10.0, 0.0, "back to lane 0"});
+  // Leg 3 (980-1150): cruise; give cyclist #1 room.
+  sc.instructions.push_back({980.0, 1150.0, 0, 11.0, 0.8, "pass cyclist with margin"});
+  // Leg 4 (1150-1500): overtake the slow vehicle.
+  sc.instructions.push_back({1150.0, 1250.0, 0, 11.0, 0.0, "approach slow vehicle"});
+  sc.instructions.push_back({1250.0, 1450.0, 1, 12.0, 0.0, "overtake via lane 1"});
+  sc.instructions.push_back({1450.0, 1600.0, 0, 11.0, 0.0, "merge back"});
+  // Leg 5 (1600-2100): night section with cyclist #2.
+  sc.instructions.push_back({1600.0, 1950.0, 0, 10.0, 0.0, "night cruise"});
+  sc.instructions.push_back({1950.0, 2100.0, 0, 10.0, 0.8, "pass cyclist with margin"});
+  // Leg 6 (2100-2400): second following leg with a braking lead.
+  sc.instructions.push_back({2100.0, 2400.0, 0, 10.0, 0.0, "follow braking lead"});
+
+  // ---- points of interest for fault injection ----
+  sc.pois.push_back({"following-1", 120.0, 280.0});
+  sc.pois.push_back({"following-2", 300.0, 460.0});
+  sc.pois.push_back({"curve-1", 460.0, 600.0});
+  sc.pois.push_back({"slalom-1", 600.0, 700.0});
+  sc.pois.push_back({"slalom-2", 700.0, 840.0});
+  sc.pois.push_back({"cyclist-1", 1000.0, 1130.0});
+  sc.pois.push_back({"overtake-1", 1180.0, 1330.0});
+  sc.pois.push_back({"overtake-2", 1330.0, 1500.0});
+  sc.pois.push_back({"night-curve", 1620.0, 1800.0});
+  sc.pois.push_back({"cyclist-2", 1950.0, 2080.0});
+  sc.pois.push_back({"following-3", 2120.0, 2230.0});
+  sc.pois.push_back({"following-4", 2230.0, 2390.0});
+
+  // ---- world population ----
+  sc.populate = [](World& world) {
+    // Lead vehicle for leg 1: cruises at 10, dips to 6.5 (forces the subject
+    // to modulate the gap), recovers, then accelerates away before the
+    // slalom zone.
+    spawn_lead(world, 60.0,
+               {{0.0, 10.0}, {250.0, 6.5}, {350.0, 11.0}, {480.0, 16.0}},
+               10.0, "lead-1");
+    // Parked vehicles for the slalom, shifted toward the passing lane.
+    spawn_parked(world, 645.0, 0, "parked-1", +1.15);
+    spawn_parked(world, 715.0, 1, "parked-2", -1.15);
+    spawn_parked(world, 785.0, 0, "parked-3", +1.15);
+    // Cyclist #1 rides ahead; the ego catches up in leg 3.
+    spawn_cyclist(world, 620.0, "cyclist-1");
+  };
+
+  // ---- triggered events ----
+  sc.triggers.push_back(
+      {1100.0, "spawn slow vehicle for the overtake leg", [](World& world) {
+         spawn_lead(world, 1260.0, {{0.0, 5.0}}, 5.0, "slow-lead");
+       }});
+  sc.triggers.push_back({1600.0, "nightfall", [](World& world) {
+                           WeatherConfig w = world.weather();
+                           w.night = true;
+                           world.set_weather(w);
+                         }});
+  sc.triggers.push_back(
+      {1500.0, "spawn cyclist #2 on the night section", [](World& world) {
+         spawn_cyclist(world, 1760.0, "cyclist-2");
+       }});
+  sc.triggers.push_back(
+      {2020.0, "spawn braking lead for the final following leg", [](World& world) {
+         // Dips hard to near-standstill — the leg that stresses braking
+         // response the way a city shuttle stop would.
+         // Staged braking, ~3 m/s^2 overall: hard enough to demand a prompt
+         // response, soft enough that an undisturbed driver always stops.
+         spawn_lead(world, 2065.0,
+                    {{0.0, 9.0},
+                     {2240.0, 6.0},
+                     {2244.0, 3.0},
+                     {2248.0, 0.8},
+                     {2252.0, 0.3},
+                     {2258.0, 12.0}},
+                    9.0, "lead-2");
+       }});
+  return sc;
+}
+
+Scenario make_following_scenario() {
+  Scenario sc;
+  sc.name = "following";
+  sc.ego_initial_speed = 8.0;
+  sc.end_s = 500.0;
+  sc.time_limit_s = 120.0;
+  sc.instructions.push_back({0.0, 500.0, 0, 11.0, 0.0, "follow the lead vehicle"});
+  sc.pois.push_back({"following", 100.0, 450.0});
+  sc.populate = [](World& world) {
+    spawn_lead(world, 60.0, {{0.0, 10.0}, {250.0, 6.5}, {350.0, 11.0}}, 10.0, "lead");
+  };
+  return sc;
+}
+
+Scenario make_slalom_scenario() {
+  Scenario sc;
+  sc.name = "slalom";
+  sc.ego_initial_speed = 8.0;
+  sc.end_s = 450.0;
+  sc.time_limit_s = 120.0;
+  sc.instructions.push_back({0.0, 162.0, 0, 9.5, 0.0, "approach"});
+  sc.instructions.push_back({162.0, 232.0, 1, 9.5, 0.0, "left past parked #1"});
+  sc.instructions.push_back({232.0, 302.0, 0, 9.5, 0.0, "right past parked #2"});
+  sc.instructions.push_back({302.0, 450.0, 1, 9.5, 0.0, "left past parked #3"});
+  sc.pois.push_back({"slalom", 160.0, 420.0});
+  sc.populate = [](World& world) {
+    spawn_parked(world, 200.0, 0, "parked-1", +0.3);
+    spawn_parked(world, 270.0, 1, "parked-2", -0.3);
+    spawn_parked(world, 340.0, 0, "parked-3", +0.3);
+  };
+  return sc;
+}
+
+Scenario make_overtake_scenario() {
+  Scenario sc;
+  sc.name = "overtake";
+  sc.ego_initial_speed = 10.0;
+  sc.end_s = 500.0;
+  sc.time_limit_s = 120.0;
+  sc.instructions.push_back({0.0, 120.0, 0, 11.0, 0.0, "approach slow vehicle"});
+  sc.instructions.push_back({120.0, 320.0, 1, 12.0, 0.0, "overtake via lane 1"});
+  sc.instructions.push_back({320.0, 500.0, 0, 11.0, 0.0, "merge back"});
+  sc.pois.push_back({"overtake", 80.0, 350.0});
+  sc.populate = [](World& world) {
+    spawn_lead(world, 130.0, {{0.0, 5.0}}, 5.0, "slow-lead");
+  };
+  return sc;
+}
+
+Scenario make_pedestrian_crossing_scenario() {
+  Scenario sc;
+  sc.name = "pedestrian-crossing";
+  sc.ego_initial_speed = 8.0;
+  sc.end_s = 400.0;
+  sc.time_limit_s = 120.0;
+  sc.instructions.push_back({0.0, 400.0, 0, 10.0, 0.0, "watch for pedestrians"});
+  sc.pois.push_back({"crossing", 120.0, 260.0});
+  sc.populate = [](World& world) {
+    // Waiting at the right kerb, 200 m in.
+    const ActorId id =
+        world.spawn_at_offset(ActorKind::kWalker, 200.0, -2.2, {}, 0.0, "walker-1");
+    world.set_controller(
+        id, std::make_unique<WalkerController>(/*walk_speed=*/1.4,
+                                               /*target_lateral=*/5.3));
+  };
+  // The pedestrian commits when the ego is ~3.5 s away at the instructed
+  // speed: a classic conflict the remote driver must brake for.
+  sc.triggers.push_back({165.0, "pedestrian steps off the kerb", [](World& world) {
+                           for (const Actor* a : world.actors()) {
+                             if (a->kind() != ActorKind::kWalker) continue;
+                             // Controllers are owned by the actor; install a
+                             // crossing controller in place of the waiting one.
+                             auto ctl = std::make_unique<WalkerController>(1.4, 5.3);
+                             ctl->start_crossing();
+                             world.set_controller(a->id(), std::move(ctl));
+                           }
+                         }});
+  return sc;
+}
+
+Scenario make_training_scenario() {
+  Scenario sc;
+  sc.name = "training";
+  sc.ego_initial_speed = 0.0;
+  sc.end_s = 800.0;
+  sc.time_limit_s = 300.0;  // three to five minutes of free driving (§V.E.1)
+  sc.instructions.push_back({0.0, 800.0, 0, 12.0, 0.0, "drive freely"});
+  return sc;
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,60 @@
+#include "sim/types.hpp"
+
+#include <cmath>
+
+namespace rdsim::sim {
+
+std::string to_string(ActorKind kind) {
+  switch (kind) {
+    case ActorKind::kVehicle: return "vehicle";
+    case ActorKind::kStaticVehicle: return "static_vehicle";
+    case ActorKind::kCyclist: return "cyclist";
+    case ActorKind::kWalker: return "walker";
+  }
+  return "unknown";
+}
+
+void BoundingBox::corners(const util::Pose& pose, util::Vec2 out[4]) const {
+  const util::Vec2 f = pose.forward() * half_length;
+  const util::Vec2 l = pose.left() * half_width;
+  out[0] = pose.position + f + l;
+  out[1] = pose.position + f - l;
+  out[2] = pose.position - f - l;
+  out[3] = pose.position - f + l;
+}
+
+namespace {
+
+/// Project corners of both boxes onto `axis` and test interval overlap.
+bool overlap_on_axis(const util::Vec2 a[4], const util::Vec2 b[4], util::Vec2 axis) {
+  double amin = a[0].dot(axis);
+  double amax = amin;
+  double bmin = b[0].dot(axis);
+  double bmax = bmin;
+  for (int i = 1; i < 4; ++i) {
+    const double pa = a[i].dot(axis);
+    amin = std::min(amin, pa);
+    amax = std::max(amax, pa);
+    const double pb = b[i].dot(axis);
+    bmin = std::min(bmin, pb);
+    bmax = std::max(bmax, pb);
+  }
+  return amax >= bmin && bmax >= amin;
+}
+
+}  // namespace
+
+bool boxes_overlap(const BoundingBox& a, const util::Pose& pa, const BoundingBox& b,
+                   const util::Pose& pb) {
+  util::Vec2 ca[4];
+  util::Vec2 cb[4];
+  a.corners(pa, ca);
+  b.corners(pb, cb);
+  const util::Vec2 axes[4] = {pa.forward(), pa.left(), pb.forward(), pb.left()};
+  for (const util::Vec2& axis : axes) {
+    if (!overlap_on_axis(ca, cb, axis)) return false;
+  }
+  return true;
+}
+
+}  // namespace rdsim::sim

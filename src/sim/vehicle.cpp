@@ -1,0 +1,71 @@
+#include "sim/vehicle.hpp"
+
+#include <cmath>
+
+namespace rdsim::sim {
+
+VehicleParams VehicleParams::scaled_model_vehicle() {
+  VehicleParams p;
+  p.wheelbase = 0.35;
+  p.max_steer_deg = 30.0;
+  p.max_steer_rate_deg = 500.0;
+  p.max_engine_accel = 2.5;
+  p.max_brake_decel = 5.0;
+  p.drag_coeff = 0.02;
+  p.rolling_resist = 0.15;
+  p.max_speed = 4.0;
+  p.throttle_tau = 0.08;
+  p.brake_tau = 0.05;
+  p.bbox = BoundingBox{0.25, 0.12};
+  return p;
+}
+
+void Vehicle::step(double dt) {
+  if (dt <= 0.0) return;
+
+  // Actuator lags (first order).
+  const double engine_target = control_.throttle * params_.max_engine_accel;
+  const double brake_target = control_.brake * params_.max_brake_decel;
+  const double ea = dt / (params_.throttle_tau + dt);
+  const double ba = dt / (params_.brake_tau + dt);
+  engine_accel_ += ea * (engine_target - engine_accel_);
+  brake_decel_ += ba * (brake_target - brake_decel_);
+
+  // Steering with rate limit.
+  const double max_angle = util::deg_to_rad(params_.max_steer_deg);
+  const double target_angle = control_.steer * max_angle;
+  const double max_step = util::deg_to_rad(params_.max_steer_rate_deg) * dt;
+  const double delta = util::clamp(target_angle - steer_angle_, -max_step, max_step);
+  steer_angle_ += delta;
+
+  // Longitudinal: engine force fades as speed approaches the power limit.
+  const double speed_abs = std::fabs(forward_speed_);
+  const double power_fade = util::clamp(1.0 - speed_abs / params_.max_speed, 0.0, 1.0);
+  double accel = engine_accel_ * power_fade * (control_.reverse ? -0.5 : 1.0);
+  const double resist = params_.drag_coeff * speed_abs * speed_abs +
+                        (speed_abs > 0.01 ? params_.rolling_resist : 0.0);
+  const double sign = forward_speed_ >= 0.0 ? 1.0 : -1.0;
+  accel -= sign * resist;
+  accel -= sign * brake_decel_;
+  if (control_.hand_brake) accel -= sign * params_.max_brake_decel;
+
+  double new_speed = forward_speed_ + accel * dt;
+  // Brakes stop the car; they do not push it backwards.
+  if (forward_speed_ > 0.0 && new_speed < 0.0 && !control_.reverse) new_speed = 0.0;
+  if (forward_speed_ < 0.0 && new_speed > 0.0 && control_.reverse) new_speed = 0.0;
+  const double actual_accel = (new_speed - forward_speed_) / dt;
+  forward_speed_ = new_speed;
+
+  // Kinematic bicycle.
+  const double yaw_rate = forward_speed_ * std::tan(steer_angle_) / params_.wheelbase;
+  const double mid_heading = state_.heading + yaw_rate * dt / 2.0;
+  state_.position += util::Vec2::from_heading(mid_heading) * (forward_speed_ * dt);
+  state_.heading = util::wrap_angle(state_.heading + yaw_rate * dt);
+
+  const util::Vec2 fwd = util::Vec2::from_heading(state_.heading);
+  state_.velocity = fwd * forward_speed_;
+  state_.accel = fwd * actual_accel +
+                 fwd.perp() * (forward_speed_ * yaw_rate);  // centripetal
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,72 @@
+// Vehicle dynamics: kinematic bicycle with a simple powertrain/brake model.
+//
+// The paper uses CARLA's default vehicle physics. For the causal chain under
+// study (network disturbance -> stale perception -> degraded control) what
+// matters is that the plant has realistic time constants: bounded engine
+// force, stronger brakes, drag, steering-angle and steering-rate limits. The
+// kinematic bicycle with first-order actuator lags captures that at urban
+// speeds and keeps the model analytically checkable in tests.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace rdsim::sim {
+
+struct VehicleParams {
+  double wheelbase{2.7};            ///< m
+  double max_steer_deg{40.0};       ///< road-wheel angle at |steer| = 1
+  double max_steer_rate_deg{220.0}; ///< road-wheel slew limit, deg/s
+  double max_engine_accel{3.0};     ///< m/s^2 at full throttle, low speed
+  double max_brake_decel{8.0};      ///< m/s^2 at full brake
+  double drag_coeff{0.0008};        ///< quadratic drag, 1/m (a = -c v^2)
+  double rolling_resist{0.08};      ///< m/s^2 constant when moving
+  double max_speed{38.0};           ///< m/s, power-limited top speed
+  double throttle_tau{0.25};        ///< s, powertrain response lag
+  double brake_tau{0.10};           ///< s, hydraulic response lag
+  BoundingBox bbox{};
+
+  /// Faster, twitchier plant approximating the scaled-down model vehicle
+  /// used for the paper's §VIII validity comparison.
+  static VehicleParams scaled_model_vehicle();
+};
+
+/// Integrates one vehicle. Forward Euler at the simulator step (20 ms) is
+/// adequate: eigenfrequencies of the model are far below the Nyquist rate.
+class Vehicle {
+ public:
+  Vehicle() = default;
+  explicit Vehicle(VehicleParams params) : params_{params} {}
+
+  /// Overwrite the kinematic state; forward speed is re-derived from the
+  /// velocity so controllers and dynamics stay consistent.
+  void set_state(const KinematicState& state) {
+    state_ = state;
+    forward_speed_ = state.velocity.dot(util::Vec2::from_heading(state.heading));
+  }
+  const KinematicState& state() const { return state_; }
+  const VehicleParams& params() const { return params_; }
+  const VehicleControl& control() const { return control_; }
+
+  /// Latch the control that will act during subsequent steps (the vehicle
+  /// subsystem applies the most recent command received from the station).
+  void apply_control(const VehicleControl& control) { control_ = control.clamped(); }
+
+  /// Advance dynamics by dt seconds.
+  void step(double dt);
+
+  /// Longitudinal speed (signed: negative in reverse), m/s.
+  double forward_speed() const { return forward_speed_; }
+  /// Current road-wheel steering angle, radians.
+  double steer_angle() const { return steer_angle_; }
+
+ private:
+  VehicleParams params_{};
+  KinematicState state_{};
+  VehicleControl control_{};
+  double forward_speed_{0.0};
+  double steer_angle_{0.0};
+  double engine_accel_{0.0};  ///< lagged actuator states
+  double brake_decel_{0.0};
+};
+
+}  // namespace rdsim::sim

@@ -1,0 +1,326 @@
+#include "trace/trace.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace rdsim::trace {
+
+double EgoSample::speed() const { return std::sqrt(vx * vx + vy * vy + vz * vz); }
+
+std::vector<RunTrace::FaultWindow> RunTrace::fault_windows() const {
+  std::vector<FaultWindow> out;
+  std::optional<FaultWindow> open;
+  for (const FaultRecord& f : faults) {
+    if (f.added) {
+      if (open) {
+        open->stop = f.t;
+        out.push_back(*open);
+      }
+      open = FaultWindow{f.fault_type, f.value, f.label, f.t, f.t};
+    } else if (open && open->fault_type == f.fault_type && open->value == f.value) {
+      open->stop = f.t;
+      out.push_back(*open);
+      open.reset();
+    }
+  }
+  if (open) {
+    open->stop = ego.empty() ? open->start : ego.back().t;
+    out.push_back(*open);
+  }
+  return out;
+}
+
+std::vector<double> RunTrace::steering_series() const {
+  std::vector<double> out;
+  out.reserve(ego.size());
+  for (const EgoSample& s : ego) out.push_back(s.steer);
+  return out;
+}
+
+std::vector<double> RunTrace::time_series() const {
+  std::vector<double> out;
+  out.reserve(ego.size());
+  for (const EgoSample& s : ego) out.push_back(s.t);
+  return out;
+}
+
+void RunTrace::write_csv(std::ostream& ego_out, std::ostream& others_out,
+                         std::ostream& events_out) const {
+  using util::CsvWriter;
+  {
+    CsvWriter w{ego_out};
+    w.write_header({"t", "frame", "x", "y", "z", "vx", "vy", "vz", "ax", "ay", "az",
+                    "throttle", "steer", "brake"});
+    for (const EgoSample& s : ego) {
+      w.field(s.t)
+          .field(static_cast<std::int64_t>(s.frame))
+          .field(s.x)
+          .field(s.y)
+          .field(s.z)
+          .field(s.vx)
+          .field(s.vy)
+          .field(s.vz)
+          .field(s.ax)
+          .field(s.ay)
+          .field(s.az)
+          .field(s.throttle)
+          .field(s.steer)
+          .field(s.brake);
+      w.end_row();
+    }
+  }
+  {
+    CsvWriter w{others_out};
+    w.write_header({"actor", "role", "t", "distance", "x", "y", "z", "vx", "vy", "vz",
+                    "throttle", "steer", "brake"});
+    for (const OtherSample& s : others) {
+      w.field(static_cast<std::int64_t>(s.actor))
+          .field(s.role)
+          .field(s.t)
+          .field(s.distance)
+          .field(s.x)
+          .field(s.y)
+          .field(s.z)
+          .field(s.vx)
+          .field(s.vy)
+          .field(s.vz)
+          .field(s.throttle)
+          .field(s.steer)
+          .field(s.brake);
+      w.end_row();
+    }
+  }
+  {
+    CsvWriter w{events_out};
+    w.write_header({"event", "t", "frame", "a", "b", "c"});
+    for (const CollisionRecord& c : collisions) {
+      w.field("collision")
+          .field(c.t)
+          .field(static_cast<std::int64_t>(c.frame))
+          .field(static_cast<std::int64_t>(c.other))
+          .field(c.other_kind)
+          .field(c.relative_speed);
+      w.end_row();
+    }
+    for (const LaneInvasionRecord& l : lane_invasions) {
+      w.field("lane_invasion")
+          .field(l.t)
+          .field(static_cast<std::int64_t>(l.frame))
+          .field(l.marking)
+          .field(static_cast<std::int64_t>(l.from_lane))
+          .field(static_cast<std::int64_t>(l.to_lane));
+      w.end_row();
+    }
+    for (const FaultRecord& f : faults) {
+      w.field("fault")
+          .field(f.t)
+          .field(static_cast<std::int64_t>(0))
+          .field(f.fault_type)
+          .field(f.value)
+          .field(f.added ? "added" : "deleted");
+      w.end_row();
+    }
+  }
+}
+
+std::string RunTrace::ego_csv() const {
+  std::ostringstream a, b, c;
+  write_csv(a, b, c);
+  return a.str();
+}
+
+std::string RunTrace::others_csv() const {
+  std::ostringstream a, b, c;
+  write_csv(a, b, c);
+  return b.str();
+}
+
+std::string RunTrace::events_csv() const {
+  std::ostringstream a, b, c;
+  write_csv(a, b, c);
+  return c.str();
+}
+
+RunTrace RunTrace::from_csv(const std::string& ego_csv, const std::string& others_csv,
+                            const std::string& events_csv) {
+  RunTrace t;
+  {
+    const auto table = util::CsvTable::parse(ego_csv);
+    const int ct = table.column("t");
+    const int cframe = table.column("frame");
+    const int cx = table.column("x"), cy = table.column("y"), cz = table.column("z");
+    const int cvx = table.column("vx"), cvy = table.column("vy"), cvz = table.column("vz");
+    const int cax = table.column("ax"), cay = table.column("ay"), caz = table.column("az");
+    const int cth = table.column("throttle"), cst = table.column("steer"),
+              cbr = table.column("brake");
+    for (std::size_t i = 0; i < table.row_count(); ++i) {
+      EgoSample s;
+      s.t = table.number(i, ct);
+      s.frame = static_cast<std::uint32_t>(table.number(i, cframe));
+      s.x = table.number(i, cx);
+      s.y = table.number(i, cy);
+      s.z = table.number(i, cz);
+      s.vx = table.number(i, cvx);
+      s.vy = table.number(i, cvy);
+      s.vz = table.number(i, cvz);
+      s.ax = table.number(i, cax);
+      s.ay = table.number(i, cay);
+      s.az = table.number(i, caz);
+      s.throttle = table.number(i, cth);
+      s.steer = table.number(i, cst);
+      s.brake = table.number(i, cbr);
+      t.ego.push_back(s);
+    }
+  }
+  {
+    const auto table = util::CsvTable::parse(others_csv);
+    const int ca = table.column("actor");
+    const int crole = table.column("role");
+    const int ct = table.column("t");
+    const int cd = table.column("distance");
+    const int cx = table.column("x"), cy = table.column("y"), cz = table.column("z");
+    const int cvx = table.column("vx"), cvy = table.column("vy"), cvz = table.column("vz");
+    for (std::size_t i = 0; i < table.row_count(); ++i) {
+      OtherSample s;
+      s.actor = static_cast<sim::ActorId>(table.number(i, ca));
+      if (crole >= 0) s.role = table.row(i)[static_cast<std::size_t>(crole)];
+      s.t = table.number(i, ct);
+      s.distance = table.number(i, cd);
+      s.x = table.number(i, cx);
+      s.y = table.number(i, cy);
+      s.z = table.number(i, cz);
+      s.vx = table.number(i, cvx);
+      s.vy = table.number(i, cvy);
+      s.vz = table.number(i, cvz);
+      t.others.push_back(s);
+    }
+  }
+  {
+    const auto table = util::CsvTable::parse(events_csv);
+    const int cev = table.column("event");
+    const int ct = table.column("t");
+    const int cframe = table.column("frame");
+    const int ca = table.column("a"), cb = table.column("b"), cc = table.column("c");
+    for (std::size_t i = 0; i < table.row_count(); ++i) {
+      const auto& row = table.row(i);
+      const std::string& kind = row[static_cast<std::size_t>(cev)];
+      if (kind == "collision") {
+        CollisionRecord c;
+        c.t = table.number(i, ct);
+        c.frame = static_cast<std::uint32_t>(table.number(i, cframe));
+        c.other = static_cast<sim::ActorId>(table.number(i, ca));
+        c.other_kind = row[static_cast<std::size_t>(cb)];
+        c.relative_speed = table.number(i, cc);
+        t.collisions.push_back(c);
+      } else if (kind == "lane_invasion") {
+        LaneInvasionRecord l;
+        l.t = table.number(i, ct);
+        l.frame = static_cast<std::uint32_t>(table.number(i, cframe));
+        l.marking = row[static_cast<std::size_t>(ca)];
+        l.from_lane = static_cast<int>(table.number(i, cb));
+        l.to_lane = static_cast<int>(table.number(i, cc));
+        t.lane_invasions.push_back(l);
+      } else if (kind == "fault") {
+        FaultRecord f;
+        f.t = table.number(i, ct);
+        f.fault_type = row[static_cast<std::size_t>(ca)];
+        f.value = table.number(i, cb);
+        f.added = row[static_cast<std::size_t>(cc)] == "added";
+        f.label = f.fault_type == "delay"
+                      ? util::format_number(f.value) + "ms"
+                      : util::format_number(f.value * 100.0) + "%";
+        t.faults.push_back(f);
+      }
+    }
+  }
+  return t;
+}
+
+TraceRecorder::TraceRecorder(std::string run_id, std::string subject, bool fault_injected,
+                             double sample_hz)
+    : interval_s_{sample_hz > 0.0 ? 1.0 / sample_hz : 0.05} {
+  trace_.run_id = std::move(run_id);
+  trace_.subject = std::move(subject);
+  trace_.fault_injected_run = fault_injected;
+}
+
+void TraceRecorder::step(const sim::World& world) {
+  const double t = world.now().to_seconds();
+
+  // Sensor events are ingested continuously.
+  const auto& cols = world.collisions();
+  for (std::size_t i = collisions_seen_; i < cols.size(); ++i) {
+    const auto& ev = cols[i];
+    trace_.collisions.push_back({ev.time.to_seconds(), ev.frame, ev.other,
+                                 sim::to_string(ev.other_kind), ev.relative_speed});
+  }
+  collisions_seen_ = cols.size();
+
+  const auto& invs = world.lane_invasions();
+  for (std::size_t i = invasions_seen_; i < invs.size(); ++i) {
+    const auto& ev = invs[i];
+    trace_.lane_invasions.push_back(
+        {ev.time.to_seconds(), ev.frame,
+         ev.marking == sim::LaneMarking::kSolid ? "solid" : "broken", ev.from_lane,
+         ev.to_lane});
+  }
+  invasions_seen_ = invs.size();
+
+  if (t + 1e-9 < next_sample_t_) return;
+  next_sample_t_ = t + interval_s_;
+
+  const sim::Actor& ego = world.ego();
+  const sim::KinematicState& st = ego.state();
+  EgoSample s;
+  s.t = t;
+  s.frame = world.frame_counter();
+  s.x = st.position.x;
+  s.y = st.position.y;
+  s.z = st.z;
+  s.vx = st.velocity.x;
+  s.vy = st.velocity.y;
+  s.ax = st.accel.x;
+  s.ay = st.accel.y;
+  const sim::VehicleControl& ctl = ego.vehicle().control();
+  s.throttle = ctl.throttle;
+  s.steer = ctl.steer;
+  s.brake = ctl.brake;
+  trace_.ego.push_back(s);
+
+  for (const sim::Actor* actor : world.actors()) {
+    if (actor->id() == ego.id()) continue;
+    OtherSample o;
+    o.actor = actor->id();
+    o.role = actor->role();
+    o.t = t;
+    o.distance = actor->state().position.distance_to(st.position);
+    o.x = actor->state().position.x;
+    o.y = actor->state().position.y;
+    o.z = actor->state().z;
+    o.vx = actor->state().velocity.x;
+    o.vy = actor->state().velocity.y;
+    const sim::VehicleControl& octl = actor->vehicle().control();
+    o.throttle = octl.throttle;
+    o.steer = octl.steer;
+    o.brake = octl.brake;
+    trace_.others.push_back(o);
+  }
+}
+
+void TraceRecorder::ingest_fault_log(const std::vector<net::FaultEvent>& log) {
+  for (const net::FaultEvent& ev : log) {
+    FaultRecord f;
+    f.t = ev.timestamp.to_seconds();
+    f.fault_type = net::to_string(ev.fault.kind);
+    f.value = ev.fault.value;
+    f.added = ev.added;
+    f.label = ev.fault.label();
+    trace_.faults.push_back(f);
+  }
+}
+
+RunTrace TraceRecorder::take() { return std::move(trace_); }
+
+}  // namespace rdsim::trace

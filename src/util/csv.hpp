@@ -1,0 +1,62 @@
+// CSV writing/reading for the trace logger (§V.F of the paper logs all
+// channels to per-run CSV files; our traces use the same schema).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdsim::util {
+
+/// Streaming CSV writer with RFC-4180 quoting. Does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_{&out} {}
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Fluent per-cell interface: field(...) ... end_row().
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  void end_row();
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cell(std::string_view v);
+
+  std::ostream* out_;
+  bool row_started_{false};
+  std::size_t rows_{0};
+};
+
+/// Fully-parsed CSV document. Small-file oriented (traces are a few MB).
+class CsvTable {
+ public:
+  /// Parse CSV text; first row is the header.
+  static CsvTable parse(std::string_view text);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Column index by name; -1 if missing.
+  int column(std::string_view name) const;
+
+  /// Cell as double; 0.0 if unparsable.
+  double number(std::size_t row, int col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly (up to 6 significant decimals, no trailing
+/// zeros) — keeps trace files small and diffs stable.
+std::string format_number(double v);
+
+}  // namespace rdsim::util

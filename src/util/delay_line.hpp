@@ -1,0 +1,58 @@
+// Time-indexed delay line.
+//
+// Models signals that are observed only after a latency — the operator's
+// reaction time, display latency, and input-device latency in the remote
+// station. Values are timestamped on push; read(t) returns the newest value
+// whose timestamp is <= t - delay.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "util/time.hpp"
+
+namespace rdsim::util {
+
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(Duration delay) : delay_{delay} {}
+
+  Duration delay() const { return delay_; }
+  void set_delay(Duration delay) { delay_ = delay; }
+
+  /// Record `value` as produced at time `t`. Timestamps must be monotone.
+  void push(TimePoint t, T value) { entries_.push_back({t, std::move(value)}); }
+
+  /// Newest value visible at time `now` (produced at or before now - delay).
+  /// Consumed entries older than the visible one are discarded.
+  std::optional<T> read(TimePoint now) {
+    const TimePoint visible_until = now - delay_;
+    std::optional<T> result;
+    while (!entries_.empty() && entries_.front().t <= visible_until) {
+      result = std::move(entries_.front().value);
+      entries_.pop_front();
+    }
+    if (result) last_ = result;
+    return last_;
+  }
+
+  void clear() {
+    entries_.clear();
+    last_.reset();
+  }
+
+  std::size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint t;
+    T value;
+  };
+
+  Duration delay_;
+  std::deque<Entry> entries_;
+  std::optional<T> last_;
+};
+
+}  // namespace rdsim::util

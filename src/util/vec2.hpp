@@ -1,0 +1,96 @@
+// Minimal 2D vector / pose math used by the driving simulator.
+//
+// The simulator world is planar: CARLA's z axis is carried through the trace
+// format for fidelity with the paper's logging schema but the dynamics are 2D.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace rdsim::util {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x{x_}, y{y_} {}
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) { return {a.x / k, a.y / k}; }
+  constexpr Vec2& operator+=(Vec2 b) { x += b.x; y += b.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 b) { x -= b.x; y -= b.y; return *this; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  constexpr double dot(Vec2 b) const { return x * b.x + y * b.y; }
+  /// Scalar 2D cross product (z of the 3D cross of the embedded vectors).
+  constexpr double cross(Vec2 b) const { return x * b.y - y * b.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Perpendicular (rotated +90 degrees, counter-clockwise).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  Vec2 rotated(double angle_rad) const {
+    const double c = std::cos(angle_rad);
+    const double s = std::sin(angle_rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  double distance_to(Vec2 b) const { return (*this - b).norm(); }
+  double heading() const { return std::atan2(y, x); }
+
+  static Vec2 from_heading(double angle_rad) {
+    return {std::cos(angle_rad), std::sin(angle_rad)};
+  }
+};
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  a = std::fmod(a + std::numbers::pi, two_pi);
+  if (a <= 0.0) a += two_pi;
+  return a - std::numbers::pi;
+}
+
+constexpr double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+
+/// Clamp helper mirroring std::clamp but safe when lo > hi would be a bug:
+/// asserts in debug via the ternary ordering.
+constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Linear interpolation; t outside [0,1] extrapolates.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+inline Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Planar pose: position plus heading (radians, CCW from +x).
+struct Pose {
+  Vec2 position{};
+  double heading{0.0};
+
+  /// Transform a point given in this pose's local frame into the world frame.
+  Vec2 to_world(Vec2 local) const { return position + local.rotated(heading); }
+
+  /// Transform a world point into this pose's local frame
+  /// (+x forward, +y left).
+  Vec2 to_local(Vec2 world) const { return (world - position).rotated(-heading); }
+
+  Vec2 forward() const { return Vec2::from_heading(heading); }
+  Vec2 left() const { return Vec2::from_heading(heading).perp(); }
+};
+
+}  // namespace rdsim::util

@@ -1,0 +1,88 @@
+// Edge cases of the report builders: empty campaigns, subjects with no
+// usable windows, masked rendering.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace rdsim::core {
+namespace {
+
+TEST(ReportEdge, EmptyCampaignRendersHeadersOnly) {
+  CampaignResult empty;
+  const auto t2 = report::render_table2(empty);
+  EXPECT_NE(t2.find("TABLE II"), std::string::npos);
+  const auto t3 = report::render_table3(empty);
+  EXPECT_NE(t3.find("Maximum TTC"), std::string::npos);
+  const auto t4 = report::render_table4(empty);
+  EXPECT_NE(t4.find("TABLE IV"), std::string::npos);
+  const auto col = report::collision_summary(empty);
+  EXPECT_EQ(col.included_subjects, 0u);
+  EXPECT_EQ(report::fault_count_rows(empty).size(), 0u);
+}
+
+TEST(ReportEdge, SubjectWithoutDataYieldsEmptyCells) {
+  CampaignResult campaign;
+  SubjectResult s;
+  s.profile = make_roster()[0];
+  // Traces left empty: no samples at all.
+  campaign.subjects.push_back(std::move(s));
+
+  const auto ttc = report::ttc_rows(campaign);
+  ASSERT_EQ(ttc.size(), 1u);
+  EXPECT_FALSE(ttc[0].nfi.has_value());
+  for (const auto& [label, cell] : ttc[0].cells) {
+    EXPECT_FALSE(cell.has_value()) << label;
+  }
+
+  const auto srr = report::srr_rows(campaign);
+  ASSERT_EQ(srr.size(), 1u);
+  EXPECT_FALSE(srr[0].nfi.has_value());
+  EXPECT_FALSE(srr[0].avg.has_value());
+
+  // Rendering with empty cells must not crash and must print dashes.
+  const auto rendered = report::render_table3(campaign);
+  EXPECT_NE(rendered.find("-"), std::string::npos);
+}
+
+TEST(ReportEdge, FaultLabelsMatchPaperColumns) {
+  const auto labels = report::fault_labels();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], "5ms");
+  EXPECT_EQ(labels[4], "5%");
+}
+
+TEST(ReportEdge, ExcludedSubjectNeverAppears) {
+  CampaignResult campaign;
+  SubjectResult t7;
+  t7.profile = make_roster()[6];
+  ASSERT_TRUE(t7.profile.excluded());
+  campaign.subjects.push_back(std::move(t7));
+  EXPECT_EQ(report::fault_count_rows(campaign).size(), 0u);
+  EXPECT_EQ(report::ttc_rows(campaign).size(), 0u);
+  EXPECT_EQ(report::srr_rows(campaign).size(), 0u);
+  EXPECT_EQ(report::collision_summary(campaign).included_subjects, 0u);
+}
+
+TEST(ReportEdge, FaultWindowChangeSemantics) {
+  // A change (inject while active) logs delete+add back-to-back; the window
+  // pairing must produce two adjacent windows, not one corrupted one.
+  trace::RunTrace t;
+  trace::EgoSample e;
+  e.t = 0.0;
+  t.ego.push_back(e);
+  e.t = 30.0;
+  t.ego.push_back(e);
+  t.faults.push_back({5.0, "delay", 5.0, true, "5ms"});
+  t.faults.push_back({12.0, "delay", 5.0, false, "5ms"});
+  t.faults.push_back({12.0, "loss", 0.05, true, "5%"});
+  t.faults.push_back({20.0, "loss", 0.05, false, "5%"});
+  const auto windows = t.fault_windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].label, "5ms");
+  EXPECT_DOUBLE_EQ(windows[0].stop, 12.0);
+  EXPECT_EQ(windows[1].label, "5%");
+  EXPECT_DOUBLE_EQ(windows[1].start, 12.0);
+}
+
+}  // namespace
+}  // namespace rdsim::core

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/correlation.hpp"
+#include "core/training.hpp"
+
+namespace rdsim::core {
+namespace {
+
+TEST(Training, ShrinksNoiseAndReactionTime) {
+  const auto profile = make_roster()[2];  // T3: no prior station experience
+  TrainingConfig cfg;
+  cfg.minutes = 5.0;
+  const auto result = run_training(profile, cfg);
+  EXPECT_LT(result.adapted.driver.steer_noise, profile.driver.steer_noise);
+  EXPECT_LT(result.adapted.driver.reaction_time_s, profile.driver.reaction_time_s);
+  EXPECT_GT(result.improvement, 0.7);  // 5 min at tau 2 min
+  EXPECT_LT(result.improvement, 1.0);
+}
+
+TEST(Training, PriorExperienceReducesAdaptation) {
+  auto novice = make_roster()[2];   // station_experience 0
+  auto veteran = make_roster()[8];  // station_experience 2
+  // Equalize the driving parameters so only the experience level differs.
+  veteran.driver = novice.driver;
+  const auto r_novice = run_training(novice);
+  const auto r_veteran = run_training(veteran);
+  const double gain_novice =
+      novice.driver.steer_noise - r_novice.adapted.driver.steer_noise;
+  const double gain_veteran =
+      veteran.driver.steer_noise - r_veteran.adapted.driver.steer_noise;
+  EXPECT_GT(gain_novice, gain_veteran);
+}
+
+TEST(Training, DurationClampedToPaperBounds) {
+  const auto profile = make_roster()[0];
+  TrainingConfig too_long;
+  too_long.minutes = 30.0;
+  const auto result = run_training(profile, too_long);
+  // Clamped to 5 minutes: the free drive cannot exceed the cap.
+  EXPECT_LE(result.run.duration_s, 5.0 * 60.0 + 5.0);
+}
+
+TEST(Training, RunsTheEmptyTown) {
+  const auto result = run_training(make_roster()[4]);
+  EXPECT_FALSE(result.run.trace.ego.empty());
+  EXPECT_TRUE(result.run.trace.collisions.empty());  // nothing to hit
+  EXPECT_TRUE(result.run.trace.others.empty());      // empty town
+}
+
+TEST(Correlation, FeaturesExtractedPerIncludedSubject) {
+  // A small synthetic campaign: reuse one subject result twice under
+  // different profiles so the correlation has variance to chew on.
+  ExperimentHarness harness;
+  CampaignResult campaign;
+  campaign.subjects.push_back(harness.run_subject(make_roster()[3]));   // T4
+  campaign.subjects.push_back(harness.run_subject(make_roster()[8]));   // T9
+  const auto features = extract_features(campaign);
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_EQ(features[0].subject, "T4");
+  EXPECT_GE(features[0].faulty_srr, 0.0);
+  EXPECT_GE(features[1].qoe, 1.0);
+
+  const auto rows = correlate(campaign);
+  EXPECT_EQ(rows.size(), 15u);  // 3 experience x 5 performance
+  // T4 has no gaming experience and T9 has: that axis has variance, so r is
+  // defined (n=2 gives a degenerate +/-1, but defined).
+  bool gaming_defined = false;
+  for (const auto& row : rows) {
+    if (row.experience == "gaming" && row.r.has_value()) gaming_defined = true;
+  }
+  EXPECT_TRUE(gaming_defined);
+
+  const std::string report = render_correlations(campaign);
+  EXPECT_NE(report.find("gaming"), std::string::npos);
+  EXPECT_NE(report.find("n = 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdsim::core

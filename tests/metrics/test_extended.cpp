@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "metrics/extended.hpp"
+
+namespace rdsim::metrics {
+namespace {
+
+trace::RunTrace straight_drive(double lateral_amp, double noise_freq = 0.3,
+                               double seconds = 60.0) {
+  // Ego driving along the Town05 route's initial straight with a sinusoidal
+  // lane-keeping error of amplitude `lateral_amp`.
+  const auto road = sim::make_town05_route();
+  trace::RunTrace t;
+  for (int i = 0; i <= static_cast<int>(seconds * 20); ++i) {
+    const double tt = i * 0.05;
+    const double s = 10.0 * tt;
+    const double offset =
+        lateral_amp * std::sin(2.0 * std::numbers::pi * noise_freq * tt);
+    const auto pose = road.sample_offset(s, offset);
+    trace::EgoSample e;
+    e.t = tt;
+    e.x = pose.position.x;
+    e.y = pose.position.y;
+    e.vx = 10.0;
+    e.steer = 0.05 * std::sin(2.0 * std::numbers::pi * noise_freq * tt);
+    t.ego.push_back(e);
+  }
+  return t;
+}
+
+TEST(Sdlp, MeasuresLateralWander) {
+  const auto road = sim::make_town05_route();
+  const auto tight = lane_position_deviation(straight_drive(0.1), road);
+  const auto sloppy = lane_position_deviation(straight_drive(0.6), road);
+  ASSERT_TRUE(tight.valid());
+  ASSERT_TRUE(sloppy.valid());
+  // SDLP of a sine of amplitude A is A/sqrt(2).
+  EXPECT_NEAR(tight.sdlp_m, 0.1 / std::numbers::sqrt2, 0.03);
+  EXPECT_NEAR(sloppy.sdlp_m, 0.6 / std::numbers::sqrt2, 0.08);
+  EXPECT_GT(sloppy.mean_abs_offset_m, tight.mean_abs_offset_m);
+}
+
+TEST(Sdlp, EmptyTraceInvalid) {
+  const auto road = sim::make_town05_route();
+  EXPECT_FALSE(lane_position_deviation(trace::RunTrace{}, road).valid());
+}
+
+TEST(SteeringEntropy, SmoothSteeringLowErraticHigh) {
+  // Both drivers carry motor noise (as real steering signals do); the
+  // disturbed one carries ~2.5x more. Entropy scored against the baseline
+  // alpha must rise — the regime the Nakayama metric is designed for.
+  trace::RunTrace smooth;
+  trace::RunTrace erratic;
+  util::Random rng{4, 2};
+  for (int i = 0; i <= 1200; ++i) {
+    const double tt = i * 0.05;
+    trace::EgoSample s;
+    s.t = tt;
+    const double wave = 0.1 * std::sin(2.0 * std::numbers::pi * 0.1 * tt);
+    s.steer = wave + 0.004 * rng.normal();
+    smooth.ego.push_back(s);
+    trace::EgoSample e;
+    e.t = tt;
+    e.steer = wave + 0.010 * rng.normal();
+    erratic.ego.push_back(e);
+  }
+  // Calibrate alpha on the smooth (baseline) run, as the method prescribes,
+  // then score both runs against it.
+  const double alpha = steering_entropy_alpha(smooth);
+  const auto se_smooth = steering_entropy(smooth, alpha);
+  const auto se_erratic = steering_entropy(erratic, alpha);
+  ASSERT_TRUE(se_smooth.valid());
+  ASSERT_TRUE(se_erratic.valid());
+  EXPECT_GT(se_erratic.entropy, se_smooth.entropy);
+  EXPECT_GT(steering_entropy_alpha(erratic), alpha);
+  EXPECT_LE(se_erratic.entropy, std::log2(9.0) + 1e-9);  // 9-bin ceiling
+}
+
+TEST(SteeringEntropy, ConstantSteeringIsZero) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 500; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.steer = 0.2;
+    t.ego.push_back(e);
+  }
+  const auto se = steering_entropy(t);
+  EXPECT_DOUBLE_EQ(se.entropy, 0.0);
+}
+
+TEST(BrakeReactions, MeasuresResponseDelay) {
+  trace::RunTrace t;
+  // Lead cruises at 10 m/s, brakes hard at t=5 s; ego brakes at t=5.8 s.
+  for (int i = 0; i <= 300; ++i) {
+    const double tt = i * 0.05;
+    trace::EgoSample e;
+    e.t = tt;
+    e.x = 10.0 * tt;
+    e.vx = 10.0;
+    e.brake = tt >= 5.8 ? 0.6 : 0.0;
+    t.ego.push_back(e);
+    trace::OtherSample o;
+    o.actor = 2;
+    o.role = "lead-1";
+    o.t = tt;
+    const double lead_speed = tt < 5.0 ? 10.0 : std::max(0.0, 10.0 - 4.0 * (tt - 5.0));
+    o.vx = lead_speed;
+    o.x = e.x + 25.0;
+    o.distance = 25.0;
+    t.others.push_back(o);
+  }
+  const auto reactions = brake_reactions(t);
+  ASSERT_EQ(reactions.size(), 1u);
+  EXPECT_NEAR(reactions[0].lead_onset_t, 5.0, 0.2);
+  EXPECT_NEAR(reactions[0].reaction_s, 0.8, 0.25);
+}
+
+TEST(BrakeReactions, IgnoresNonLeadActorsAndGentleSlowing) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 200; ++i) {
+    const double tt = i * 0.05;
+    trace::EgoSample e;
+    e.t = tt;
+    e.vx = 10.0;
+    e.brake = 0.5;  // ego always braking; irrelevant without a lead onset
+    t.ego.push_back(e);
+    trace::OtherSample parked;
+    parked.actor = 3;
+    parked.role = "parked-1";
+    parked.t = tt;
+    parked.vx = tt < 5.0 ? 10.0 : 0.0;  // "brakes" but is not a lead
+    parked.distance = 20.0;
+    t.others.push_back(parked);
+    trace::OtherSample lead;
+    lead.actor = 4;
+    lead.role = "lead-1";
+    lead.t = tt;
+    lead.vx = 10.0 - 0.5 * tt / 10.0;  // gentle drift, below onset threshold
+    lead.distance = 20.0;
+    t.others.push_back(lead);
+  }
+  EXPECT_TRUE(brake_reactions(t).empty());
+}
+
+TEST(HeadwayDistribution, FractionsAndMedian) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 400; ++i) {
+    const double tt = i * 0.05;
+    trace::EgoSample e;
+    e.t = tt;
+    e.x = 10.0 * tt;
+    e.vx = 10.0;
+    t.ego.push_back(e);
+    trace::OtherSample o;
+    o.actor = 2;
+    o.role = "lead";
+    o.t = tt;
+    // First half: 1.5 s headway (bumper 15 m); second half: 3 s.
+    const double gap = tt < 10.0 ? 15.0 : 30.0;
+    o.x = e.x + gap + 4.6;
+    o.vx = 10.0;
+    o.distance = gap + 4.6;
+    t.others.push_back(o);
+  }
+  const auto dist = headway_distribution(t);
+  ASSERT_TRUE(dist.valid());
+  EXPECT_NEAR(dist.below_2s, 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(dist.below_1s, 0.0);
+  EXPECT_GT(dist.median_s, 1.2);
+  EXPECT_LT(dist.median_s, 3.2);
+}
+
+}  // namespace
+}  // namespace rdsim::metrics

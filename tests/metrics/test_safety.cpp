@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/safety.hpp"
+
+namespace rdsim::metrics {
+namespace {
+
+trace::RunTrace trace_with_faults() {
+  trace::RunTrace t;
+  for (int i = 0; i <= 2000; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.x = 10.0 * e.t;
+    e.vx = 10.0;
+    e.brake = (i / 100) % 2 == 0 ? 0.0 : 0.3;  // braking phases
+    t.ego.push_back(e);
+  }
+  t.faults.push_back({10.0, "delay", 50.0, true, "50ms"});
+  t.faults.push_back({20.0, "delay", 50.0, false, "50ms"});
+  t.faults.push_back({40.0, "loss", 0.05, true, "5%"});
+  t.faults.push_back({55.0, "loss", 0.05, false, "5%"});
+  return t;
+}
+
+TEST(FaultWindows, PairsAddAndDelete) {
+  const auto t = trace_with_faults();
+  const auto windows = t.fault_windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].label, "50ms");
+  EXPECT_DOUBLE_EQ(windows[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(windows[0].stop, 20.0);
+  EXPECT_EQ(windows[1].label, "5%");
+  EXPECT_DOUBLE_EQ(windows[1].stop, 55.0);
+}
+
+TEST(FaultWindows, UnclosedWindowExtendsToEnd) {
+  trace::RunTrace t;
+  trace::EgoSample e;
+  e.t = 0.0;
+  t.ego.push_back(e);
+  e.t = 30.0;
+  t.ego.push_back(e);
+  t.faults.push_back({12.0, "loss", 0.02, true, "2%"});
+  const auto windows = t.fault_windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].stop, 30.0);
+}
+
+TEST(CollisionAnalysis, AttributesToActiveFault) {
+  auto t = trace_with_faults();
+  t.collisions.push_back({15.0, 300, 7, "static_vehicle", 4.0});   // during 50ms
+  t.collisions.push_back({45.0, 900, 8, "vehicle", 2.0});          // during 5%
+  t.collisions.push_back({56.5, 1130, 9, "vehicle", 1.0});         // 1.5 s after 5% ended
+  t.collisions.push_back({80.0, 1600, 10, "cyclist", 3.0});        // no fault
+  const auto analysis = analyze_collisions(t);
+  EXPECT_EQ(analysis.total, 4u);
+  EXPECT_TRUE(analysis.collisions[0].fault_active);
+  EXPECT_EQ(analysis.collisions[0].fault_label, "50ms");
+  EXPECT_EQ(analysis.collisions[1].fault_label, "5%");
+  // Spillover: shortly after the window still counts as fault-related.
+  EXPECT_TRUE(analysis.collisions[2].fault_active);
+  EXPECT_FALSE(analysis.collisions[3].fault_active);
+  const auto by_label = analysis.by_fault_label();
+  EXPECT_EQ(by_label.at("50ms"), 1u);
+  EXPECT_EQ(by_label.at("5%"), 2u);
+  EXPECT_EQ(by_label.at("none"), 1u);
+}
+
+TEST(Headway, ComputesTimeGap) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 100; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.x = 10.0 * e.t;
+    e.vx = 10.0;
+    t.ego.push_back(e);
+    trace::OtherSample o;
+    o.actor = 2;
+    o.t = e.t;
+    o.x = e.x + 24.6;  // bumper gap 20 m at 10 m/s => headway 2.0 s
+    o.vx = 10.0;
+    o.distance = 24.6;
+    t.others.push_back(o);
+  }
+  const auto h = analyze_headway(t);
+  ASSERT_TRUE(h.valid());
+  EXPECT_NEAR(h.avg, 2.0, 0.05);
+  EXPECT_LT(h.below_2s_fraction, 0.6);
+}
+
+TEST(TimeExposedTtc, SumsViolationTime) {
+  std::vector<TtcSample> series;
+  for (int i = 0; i < 100; ++i) {
+    series.push_back({i * 0.05, i < 40 ? 3.0 : 10.0, 30.0, 2});
+  }
+  EXPECT_NEAR(time_exposed_ttc(series, 6.0, 0.05), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(time_exposed_ttc(series, 1.0, 0.05), 0.0);
+}
+
+TEST(DrivingStats, AggregatesChannels) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 200; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.vx = 8.0;
+    e.ax = 0.5;
+    e.throttle = 0.3;
+    e.brake = i > 100 ? 0.5 : 0.0;
+    t.ego.push_back(e);
+  }
+  t.lane_invasions.push_back({1.0, 20, "broken", 0, 1});
+  t.lane_invasions.push_back({2.0, 40, "solid", 0, 1});
+  const auto stats = analyze_driving(t);
+  EXPECT_NEAR(stats.speed.mean(), 8.0, 1e-9);
+  EXPECT_EQ(stats.brake_applications, 1u);
+  EXPECT_EQ(stats.lane_invasions, 2u);
+  EXPECT_EQ(stats.solid_line_invasions, 1u);
+  EXPECT_NEAR(stats.accel_long.mean(), 0.5, 1e-9);
+}
+
+TEST(DrivingStats, WindowRestricts) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 200; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.vx = i <= 100 ? 5.0 : 15.0;
+    t.ego.push_back(e);
+  }
+  EXPECT_NEAR(analyze_driving(t, 0.0, 5.0).speed.mean(), 5.0, 0.1);
+  EXPECT_NEAR(analyze_driving(t, 5.05, 10.1).speed.mean(), 15.0, 0.1);
+}
+
+TEST(TraversalTime, MeasuresSegmentDuration) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 400; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    // 10 m/s for 10 s, then 5 m/s.
+    e.x = e.t <= 10.0 ? 10.0 * e.t : 100.0 + 5.0 * (e.t - 10.0);
+    t.ego.push_back(e);
+  }
+  // Distance 50..100 m at 10 m/s takes 5 s.
+  auto fast = traversal_time(t, 50.0, 100.0);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_NEAR(*fast, 5.0, 0.2);
+  // Distance 100..130 m at 5 m/s takes 6 s.
+  auto slow = traversal_time(t, 100.0, 130.0);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_NEAR(*slow, 6.0, 0.3);
+  EXPECT_FALSE(traversal_time(t, 100.0, 5000.0).has_value());
+  EXPECT_FALSE(traversal_time(t, 50.0, 40.0).has_value());
+}
+
+}  // namespace
+}  // namespace rdsim::metrics

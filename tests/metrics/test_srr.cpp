@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "metrics/srr.hpp"
+
+namespace rdsim::metrics {
+namespace {
+
+/// A steering trace oscillating at `freq_hz` with amplitude `amp_frac`
+/// (steering fraction), sampled at 20 Hz for `seconds`.
+std::pair<std::vector<double>, std::vector<double>> sine_steering(double freq_hz,
+                                                                  double amp_frac,
+                                                                  double seconds) {
+  std::vector<double> t;
+  std::vector<double> steer;
+  for (int i = 0; i <= static_cast<int>(seconds * 20); ++i) {
+    const double tt = i * 0.05;
+    t.push_back(tt);
+    steer.push_back(amp_frac * std::sin(2.0 * std::numbers::pi * freq_hz * tt));
+  }
+  return {t, steer};
+}
+
+TEST(Srr, SineWaveCountsTwoReversalsPerPeriod) {
+  // 0.2 Hz sine with amplitude well above threshold: every half period is a
+  // reversal (after the first swing), so rate ~= 2 * freq * 60 = 24/min.
+  const auto [t, steer] = sine_steering(0.2, 0.1, 60.0);
+  SrrAnalyzer analyzer;
+  const auto r = analyzer.analyze_series(t, steer);
+  ASSERT_TRUE(r.valid());
+  EXPECT_NEAR(r.rate_per_min, 24.0, 2.5);
+}
+
+TEST(Srr, SubThresholdAmplitudeCountsNothing) {
+  // Amplitude 0.002 * 450 deg = 0.9 deg < 3 deg threshold.
+  const auto [t, steer] = sine_steering(0.2, 0.002, 60.0);
+  SrrAnalyzer analyzer;
+  EXPECT_EQ(analyzer.analyze_series(t, steer).reversals, 0u);
+}
+
+TEST(Srr, ThresholdConfigurable) {
+  const auto [t, steer] = sine_steering(0.2, 0.01, 60.0);  // 4.5 deg swings
+  SrrConfig strict;
+  strict.threshold_deg = 10.0;
+  EXPECT_EQ(SrrAnalyzer{strict}.analyze_series(t, steer).reversals, 0u);
+  SrrConfig loose;
+  loose.threshold_deg = 2.0;
+  EXPECT_GT(SrrAnalyzer{loose}.analyze_series(t, steer).reversals, 15u);
+}
+
+TEST(Srr, HighFrequencyDitherFilteredOut) {
+  // 5 Hz dither at 4.5 deg would naively count ~600 reversals/min, but the
+  // 0.6 Hz low-pass removes it entirely.
+  const auto [t, steer] = sine_steering(5.0, 0.01, 60.0);
+  SrrAnalyzer analyzer;
+  EXPECT_EQ(analyzer.analyze_series(t, steer).reversals, 0u);
+}
+
+TEST(Srr, MixedSignalCountsOnlySlowComponent) {
+  auto [t, slow] = sine_steering(0.2, 0.1, 60.0);
+  auto [t2, fast] = sine_steering(6.0, 0.01, 60.0);
+  std::vector<double> mixed(slow.size());
+  for (std::size_t i = 0; i < slow.size(); ++i) mixed[i] = slow[i] + fast[i];
+  SrrAnalyzer analyzer;
+  const auto pure = analyzer.analyze_series(t, slow);
+  const auto noisy = analyzer.analyze_series(t, mixed);
+  EXPECT_NEAR(static_cast<double>(noisy.reversals), static_cast<double>(pure.reversals),
+              2.0);
+}
+
+TEST(Srr, ConstantSteeringHasNoReversals) {
+  std::vector<double> t;
+  std::vector<double> steer;
+  for (int i = 0; i < 400; ++i) {
+    t.push_back(i * 0.05);
+    steer.push_back(0.25);
+  }
+  SrrAnalyzer analyzer;
+  EXPECT_EQ(analyzer.analyze_series(t, steer).reversals, 0u);
+}
+
+TEST(Srr, SingleSwingIsNotAReversal) {
+  // One lane-change-like S: left then hold. The first directed swing sets
+  // the direction; only the swing back counts.
+  std::vector<double> t;
+  std::vector<double> steer;
+  for (int i = 0; i <= 400; ++i) {
+    t.push_back(i * 0.05);
+    const double tt = i * 0.05;
+    steer.push_back(tt < 5.0 ? 0.1 * std::sin(std::numbers::pi * tt / 5.0) : 0.0);
+  }
+  SrrAnalyzer analyzer;
+  EXPECT_LE(analyzer.analyze_series(t, steer).reversals, 1u);
+}
+
+TEST(Srr, TooShortWindowInvalid) {
+  const auto [t, steer] = sine_steering(0.2, 0.1, 2.0);
+  SrrAnalyzer analyzer;
+  const auto r = analyzer.analyze_series(t, steer);
+  EXPECT_EQ(r.reversals, 0u);
+  EXPECT_DOUBLE_EQ(r.rate_per_min, 0.0);
+}
+
+TEST(Srr, DegenerateInputs) {
+  SrrAnalyzer analyzer;
+  EXPECT_FALSE(analyzer.analyze_series({}, {}).valid());
+  EXPECT_FALSE(analyzer.analyze_series({1.0, 2.0}, {0.0, 0.0}).valid());
+  EXPECT_FALSE(analyzer.analyze_series({1.0, 2.0, 3.0}, {0.0, 0.0}).valid());  // size mismatch
+}
+
+TEST(Srr, AnalyzeWindowExtractsSubRange) {
+  trace::RunTrace run;
+  for (int i = 0; i <= 1200; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    // Quiet for 30 s, oscillating for 30 s.
+    e.steer = e.t < 30.0 ? 0.0
+                         : 0.1 * std::sin(2.0 * std::numbers::pi * 0.25 * e.t);
+    run.ego.push_back(e);
+  }
+  SrrAnalyzer analyzer;
+  const auto quiet = analyzer.analyze_window(run, 0.0, 30.0);
+  const auto busy = analyzer.analyze_window(run, 30.0, 60.0);
+  EXPECT_EQ(quiet.reversals, 0u);
+  EXPECT_NEAR(busy.rate_per_min, 30.0, 4.0);  // 2 * 0.25 Hz * 60
+}
+
+}  // namespace
+}  // namespace rdsim::metrics

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "metrics/ttc.hpp"
+
+namespace rdsim::metrics {
+namespace {
+
+/// Build a trace of an ego at `ego_speed` following a lead `gap_center` m
+/// ahead at `lead_speed`, sampled at 20 Hz for `seconds`.
+trace::RunTrace two_car_trace(double ego_speed, double lead_speed, double gap_center,
+                              double seconds = 10.0, double lateral = 0.0) {
+  trace::RunTrace t;
+  for (int i = 0; i <= static_cast<int>(seconds * 20); ++i) {
+    const double tt = i * 0.05;
+    trace::EgoSample e;
+    e.t = tt;
+    e.x = ego_speed * tt;
+    e.vx = ego_speed;
+    t.ego.push_back(e);
+    trace::OtherSample o;
+    o.actor = 2;
+    o.t = tt;
+    o.x = gap_center + lead_speed * tt;
+    o.y = lateral;
+    o.vx = lead_speed;
+    o.distance = std::hypot(o.x - e.x, o.y);
+    t.others.push_back(o);
+  }
+  return t;
+}
+
+TEST(Ttc, AnalyticTwoCarValue) {
+  // Gap 50 m centre-to-centre, closing 5 m/s: with the 4.6 m length
+  // correction, TTC = (50 - 4.6) / 5 = 9.08 s at t=0 and shrinking.
+  const auto run = two_car_trace(15.0, 10.0, 50.0, 2.0);
+  TtcAnalyzer analyzer;
+  const auto series = analyzer.series(run);
+  ASSERT_FALSE(series.empty());
+  EXPECT_NEAR(series.front().ttc, (50.0 - 4.6) / 5.0, 0.05);
+  EXPECT_LT(series.back().ttc, series.front().ttc);
+  EXPECT_EQ(series.front().lead, 2u);
+}
+
+TEST(Ttc, NoSamplesWhenNotClosing) {
+  const auto run = two_car_trace(10.0, 10.0, 30.0);
+  TtcAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.series(run).empty());
+  const auto opening = two_car_trace(10.0, 12.0, 30.0);
+  EXPECT_TRUE(analyzer.series(opening).empty());
+}
+
+TEST(Ttc, HundredMetreCutoff) {
+  // Paper §VI.C: only relative distances <= 100 m are evaluated.
+  const auto far = two_car_trace(15.0, 10.0, 150.0, 2.0);
+  TtcAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.series(far).empty());
+  const auto near = two_car_trace(15.0, 10.0, 90.0, 2.0);
+  EXPECT_FALSE(analyzer.series(near).empty());
+}
+
+TEST(Ttc, LateralCorridorFilters) {
+  // A vehicle in the adjacent lane (3.5 m lateral) is not a TTC lead.
+  const auto adjacent = two_car_trace(15.0, 10.0, 40.0, 2.0, 3.5);
+  TtcAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.series(adjacent).empty());
+  const auto same_lane = two_car_trace(15.0, 10.0, 40.0, 2.0, 1.0);
+  EXPECT_FALSE(analyzer.series(same_lane).empty());
+}
+
+TEST(Ttc, VehiclesBehindIgnored) {
+  const auto run = two_car_trace(15.0, 10.0, -30.0, 2.0);
+  TtcAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.series(run).empty());
+}
+
+TEST(Ttc, NearestLeadWins) {
+  auto run = two_car_trace(15.0, 10.0, 60.0, 1.0);
+  // Add a second, closer lead.
+  const std::size_t n = run.others.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::OtherSample o = run.others[i];
+    o.actor = 3;
+    o.x -= 30.0;  // 30 m closer
+    run.others.push_back(o);
+  }
+  TtcAnalyzer analyzer;
+  const auto series = analyzer.series(run);
+  ASSERT_FALSE(series.empty());
+  for (const auto& s : series) EXPECT_EQ(s.lead, 3u);
+}
+
+TEST(Ttc, SummaryStatistics) {
+  const auto run = two_car_trace(15.0, 10.0, 60.0, 8.0);
+  TtcAnalyzer analyzer;
+  const auto series = analyzer.series(run);
+  const auto stats = analyzer.summarize(series);
+  ASSERT_TRUE(stats.valid());
+  EXPECT_NEAR(stats.max, (60.0 - 4.6) / 5.0, 0.1);
+  EXPECT_LT(stats.min, stats.avg);
+  EXPECT_LT(stats.avg, stats.max);
+  // TTC drops below 6 s once the gap falls under 34.6 m, i.e. after ~5 s.
+  EXPECT_GT(stats.violations, 0u);
+}
+
+TEST(Ttc, WindowedSummary) {
+  const auto run = two_car_trace(15.0, 10.0, 60.0, 8.0);
+  TtcAnalyzer analyzer;
+  const auto series = analyzer.series(run);
+  const auto early = analyzer.summarize_window(series, 0.0, 2.0);
+  const auto late = analyzer.summarize_window(series, 6.0, 8.0);
+  ASSERT_TRUE(early.valid());
+  ASSERT_TRUE(late.valid());
+  EXPECT_GT(early.avg, late.avg);  // the gap shrinks over time
+  const auto none = analyzer.summarize_window(series, 100.0, 200.0);
+  EXPECT_FALSE(none.valid());
+}
+
+TEST(Ttc, StoppedEgoYieldsNothing) {
+  const auto run = two_car_trace(0.0, 0.0, 20.0);
+  TtcAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.series(run).empty());
+}
+
+}  // namespace
+}  // namespace rdsim::metrics

@@ -1,0 +1,167 @@
+// Channel, router and checksum semantics.
+#include <gtest/gtest.h>
+
+#include "net/router.hpp"
+#include "net/tbf.hpp"
+
+namespace rdsim::net {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(Channel, DeliversBothDirections) {
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  ch.send(LinkDirection::kDownlink, {1, 2, 3}, 100, TimePoint{});
+  ch.send(LinkDirection::kUplink, {4, 5}, 50, TimePoint{});
+  ch.step(TimePoint{});
+  auto down = ch.receive(LinkDirection::kDownlink);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->payload, (Payload{1, 2, 3}));
+  auto up = ch.receive(LinkDirection::kUplink);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->payload, (Payload{4, 5}));
+  EXPECT_FALSE(ch.receive(LinkDirection::kDownlink).has_value());
+}
+
+TEST(Channel, SharedQdiscAffectsBothDirections) {
+  // The paper's loopback setup: one netem rule disturbs video *and* commands.
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  tc.add("lo", parse_netem("delay 30ms"));
+  ch.send(LinkDirection::kDownlink, {1}, 10, TimePoint{});
+  ch.send(LinkDirection::kUplink, {2}, 10, TimePoint{});
+  ch.step(TimePoint::from_micros(29000));
+  EXPECT_FALSE(ch.has_pending(LinkDirection::kDownlink));
+  EXPECT_FALSE(ch.has_pending(LinkDirection::kUplink));
+  ch.step(TimePoint::from_micros(30000));
+  EXPECT_TRUE(ch.has_pending(LinkDirection::kDownlink));
+  EXPECT_TRUE(ch.has_pending(LinkDirection::kUplink));
+}
+
+TEST(Channel, TracksLatencyStats) {
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  tc.add("lo", parse_netem("delay 10ms"));
+  ch.send(LinkDirection::kDownlink, {1}, 10, TimePoint{});
+  ch.step(TimePoint::from_micros(10000));
+  const auto& stats = ch.stats(LinkDirection::kDownlink);
+  EXPECT_EQ(stats.packets_sent, 1u);
+  EXPECT_EQ(stats.packets_delivered, 1u);
+  EXPECT_NEAR(stats.mean_latency_ms(), 10.0, 1e-9);
+}
+
+TEST(Channel, InFlightCountsQueuedPackets) {
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  tc.add("lo", parse_netem("delay 1000ms"));
+  ch.send(LinkDirection::kDownlink, {1}, 10, TimePoint{});
+  ch.send(LinkDirection::kDownlink, {2}, 10, TimePoint{});
+  ch.step(TimePoint{});
+  EXPECT_EQ(ch.in_flight(), 2u);
+}
+
+TEST(ProtocolHeader, SealAndOpenRoundTrip) {
+  const Payload body{10, 20, 30};
+  const Payload sealed = ProtocolHeader::seal(7, SegmentType::kAck, body);
+  const auto parsed = open_packet(sealed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.stream_id, 7);
+  EXPECT_EQ(parsed->header.type, SegmentType::kAck);
+  EXPECT_EQ(parsed->body, body);
+}
+
+TEST(ProtocolHeader, DetectsCorruption) {
+  Payload sealed = ProtocolHeader::seal(1, SegmentType::kData, {1, 2, 3, 4});
+  sealed[ProtocolHeader::kSize + 1] ^= 0x10;  // flip a payload bit
+  EXPECT_FALSE(open_packet(sealed).has_value());
+}
+
+TEST(ProtocolHeader, DetectsHeaderDamage) {
+  Payload sealed = ProtocolHeader::seal(1, SegmentType::kData, {1, 2, 3, 4});
+  sealed[3] ^= 0x01;  // flip a checksum bit
+  EXPECT_FALSE(open_packet(sealed).has_value());
+  EXPECT_FALSE(open_packet({1, 2}).has_value());  // truncated
+}
+
+TEST(PacketRouter, RoutesByStreamId) {
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  PacketRouter router{ch};
+  int got_a = 0;
+  int got_b = 0;
+  router.register_stream(1, [&](const ProtocolHeader&, Payload, LinkDirection,
+                                TimePoint) { ++got_a; });
+  router.register_stream(2, [&](const ProtocolHeader&, Payload, LinkDirection,
+                                TimePoint) { ++got_b; });
+  ch.send(LinkDirection::kDownlink, ProtocolHeader::seal(1, SegmentType::kData, {1}), 10,
+          TimePoint{});
+  ch.send(LinkDirection::kUplink, ProtocolHeader::seal(2, SegmentType::kData, {2}), 10,
+          TimePoint{});
+  ch.send(LinkDirection::kDownlink, ProtocolHeader::seal(9, SegmentType::kData, {3}), 10,
+          TimePoint{});
+  router.poll(TimePoint{});
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(router.unroutable(), 1u);
+}
+
+TEST(PacketRouter, DropsCorruptedPacketsLikeTcpChecksum) {
+  // A corrupt qdisc plus the router checksum turns corruption into loss —
+  // the §V.C observation that corruption has no distinct user-visible effect.
+  TrafficControl tc;
+  Channel ch{tc, "lo"};
+  PacketRouter router{ch};
+  int delivered = 0;
+  router.register_stream(1, [&](const ProtocolHeader&, Payload, LinkDirection,
+                                TimePoint) { ++delivered; });
+  tc.add("lo", parse_netem("corrupt 100%"));
+  for (int i = 0; i < 50; ++i) {
+    ch.send(LinkDirection::kDownlink,
+            ProtocolHeader::seal(1, SegmentType::kData, {1, 2, 3, 4, 5}), 10, TimePoint{});
+  }
+  router.poll(TimePoint{});
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(router.checksum_failures(), 50u);
+}
+
+TEST(Tbf, EnforcesSustainedRate) {
+  TbfConfig cfg;
+  cfg.rate_bytes_per_s = 1000.0;
+  cfg.burst_bytes = 100.0;
+  TbfQdisc q{cfg};
+  // 10 packets of 100 bytes = 1000 bytes; at 1000 B/s it takes ~0.9 s after
+  // the initial burst.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.id = i;
+    p.wire_size = 100;
+    q.enqueue(std::move(p), TimePoint{});
+  }
+  // Polling every 50 ms, packets emerge at ~1 per 100 ms (rate / size).
+  std::size_t total = q.dequeue_ready(TimePoint{}).size();
+  EXPECT_EQ(total, 1u);  // initial burst
+  for (int ms = 50; ms <= 1000; ms += 50) {
+    total += q.dequeue_ready(TimePoint::from_seconds(ms / 1000.0)).size();
+  }
+  EXPECT_GE(total, 9u);
+  EXPECT_LE(q.backlog(), 1u);
+}
+
+TEST(Tbf, BurstAllowsInitialSpike) {
+  TbfConfig cfg;
+  cfg.rate_bytes_per_s = 100.0;
+  cfg.burst_bytes = 1000.0;
+  TbfQdisc q{cfg};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.id = i;
+    p.wire_size = 100;
+    q.enqueue(std::move(p), TimePoint{});
+  }
+  EXPECT_EQ(q.dequeue_ready(TimePoint{}).size(), 10u);
+}
+
+}  // namespace
+}  // namespace rdsim::net

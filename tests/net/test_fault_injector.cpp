@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "net/fault_injector.hpp"
+
+namespace rdsim::net {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(FaultSpec, RendersNetemArgs) {
+  EXPECT_EQ((FaultSpec{FaultKind::kDelay, 50.0}).to_netem_args(), "delay 50ms");
+  EXPECT_EQ((FaultSpec{FaultKind::kPacketLoss, 0.05}).to_netem_args(), "loss 5%");
+  EXPECT_EQ((FaultSpec{FaultKind::kCorruption, 0.01}).to_netem_args(), "corrupt 1%");
+  EXPECT_EQ((FaultSpec{FaultKind::kDuplication, 0.02}).to_netem_args(), "duplicate 2%");
+}
+
+TEST(FaultSpec, LabelsMatchPaperTables) {
+  EXPECT_EQ((FaultSpec{FaultKind::kDelay, 5.0}).label(), "5ms");
+  EXPECT_EQ((FaultSpec{FaultKind::kDelay, 25.0}).label(), "25ms");
+  EXPECT_EQ((FaultSpec{FaultKind::kPacketLoss, 0.02}).label(), "2%");
+  EXPECT_EQ((FaultSpec{FaultKind::kPacketLoss, 0.05}).label(), "5%");
+}
+
+TEST(FaultSpec, ConfigRoundTrip) {
+  const auto cfg = FaultSpec{FaultKind::kDelay, 25.0}.to_config();
+  EXPECT_EQ(cfg.delay, Duration::millis(25));
+  const auto loss = FaultSpec{FaultKind::kPacketLoss, 0.02}.to_config();
+  EXPECT_DOUBLE_EQ(loss.loss_probability, 0.02);
+}
+
+TEST(PaperFaultModel, HasTheFivePaperFaults) {
+  const auto model = paper_fault_model();
+  ASSERT_EQ(model.size(), 5u);
+  EXPECT_EQ(model[0].label(), "5ms");
+  EXPECT_EQ(model[1].label(), "25ms");
+  EXPECT_EQ(model[2].label(), "50ms");
+  EXPECT_EQ(model[3].label(), "2%");
+  EXPECT_EQ(model[4].label(), "5%");
+}
+
+TEST(FaultInjector, InjectAndRemoveLogsEvents) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  EXPECT_FALSE(inj.active());
+  inj.inject({FaultKind::kDelay, 50.0}, TimePoint::from_seconds(1.0));
+  EXPECT_TRUE(inj.active());
+  EXPECT_TRUE(tc.has_netem("lo"));
+  inj.remove(TimePoint::from_seconds(2.0));
+  EXPECT_FALSE(inj.active());
+  EXPECT_FALSE(tc.has_netem("lo"));
+
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_TRUE(inj.log()[0].added);
+  EXPECT_DOUBLE_EQ(inj.log()[0].timestamp.to_seconds(), 1.0);
+  EXPECT_FALSE(inj.log()[1].added);
+  EXPECT_EQ(inj.injections(), 1u);
+}
+
+TEST(FaultInjector, InjectReplacesActiveFault) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.inject({FaultKind::kDelay, 5.0}, TimePoint{});
+  inj.inject({FaultKind::kPacketLoss, 0.05}, TimePoint::from_seconds(1.0));
+  EXPECT_EQ(inj.active_fault()->kind, FaultKind::kPacketLoss);
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+  EXPECT_EQ(inj.injections(), 2u);
+  // Log shows: add(5ms), delete(5ms), add(5%).
+  ASSERT_EQ(inj.log().size(), 3u);
+  EXPECT_FALSE(inj.log()[1].added);
+  EXPECT_EQ(inj.log()[1].fault.kind, FaultKind::kDelay);
+}
+
+TEST(FaultInjector, RemoveWithoutActiveIsNoOp) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.remove(TimePoint{});
+  EXPECT_TRUE(inj.log().empty());
+}
+
+TEST(FaultInjector, ScheduledWindowAppliesAndExpires) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 25.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(2.0));
+  inj.step(TimePoint::from_seconds(0.5));
+  EXPECT_FALSE(inj.active());
+  inj.step(TimePoint::from_seconds(1.0));
+  EXPECT_TRUE(inj.active());
+  inj.step(TimePoint::from_seconds(1.5));
+  EXPECT_TRUE(inj.active());
+  inj.step(TimePoint::from_seconds(2.0));
+  EXPECT_FALSE(inj.active());
+  EXPECT_EQ(inj.log().size(), 2u);
+}
+
+TEST(FaultInjector, MultipleWindowsInSequence) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 5.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(2.0));
+  inj.schedule({FaultKind::kPacketLoss, 0.02}, TimePoint::from_seconds(3.0),
+               TimePoint::from_seconds(4.0));
+  for (double t = 0.0; t <= 5.0; t += 0.25) inj.step(TimePoint::from_seconds(t));
+  EXPECT_EQ(inj.injections(), 2u);
+  EXPECT_FALSE(inj.active());
+  ASSERT_EQ(inj.log().size(), 4u);
+  EXPECT_EQ(inj.log()[2].fault.kind, FaultKind::kPacketLoss);
+}
+
+}  // namespace
+}  // namespace rdsim::net

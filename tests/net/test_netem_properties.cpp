@@ -1,0 +1,148 @@
+// Parameterized property sweeps over the netem qdisc: statistical
+// conformance of the configured rates across the whole operating range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/tc.hpp"
+
+namespace rdsim::net {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+class LossRateProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRateProperty, EmpiricalRateMatchesConfigured) {
+  const double p = GetParam();
+  NetemConfig cfg;
+  cfg.loss_probability = p;
+  cfg.limit = 100000;
+  NetemQdisc q{cfg, 1234};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.id = static_cast<std::uint64_t>(i);
+    pkt.wire_size = 100;
+    q.enqueue(std::move(pkt), TimePoint{});
+  }
+  const double observed = static_cast<double>(q.stats().dropped_loss) / n;
+  // Binomial 4-sigma band.
+  const double sigma = std::sqrt(p * (1.0 - p) / n);
+  EXPECT_NEAR(observed, p, 4.0 * sigma + 1e-9) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRatesAndBeyond, LossRateProperty,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.07, 0.10, 0.25, 0.50));
+
+class DelayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayProperty, AllPacketsDelayedExactly) {
+  const int ms = GetParam();
+  NetemConfig cfg;
+  cfg.delay = Duration::millis(ms);
+  cfg.limit = 10000;
+  NetemQdisc q{cfg, 5};
+  for (int i = 0; i < 200; ++i) {
+    Packet pkt;
+    pkt.id = static_cast<std::uint64_t>(i);
+    pkt.wire_size = 100;
+    q.enqueue(std::move(pkt), TimePoint::from_micros(i * 500));
+  }
+  // The last packet was enqueued at t = 99.5 ms; everything must be out by
+  // that time plus the delay, and nothing before the delay has elapsed for
+  // the first packet.
+  EXPECT_TRUE(q.dequeue_ready(TimePoint::from_micros(ms * 1000 - 1)).empty());
+  const auto all = q.dequeue_ready(
+      TimePoint::from_micros((ms + 100) * 1000));
+  EXPECT_EQ(all.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDelays, DelayProperty,
+                         ::testing::Values(5, 25, 50, 100, 200));
+
+class CorrelatedLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelatedLossProperty, MarginalRatePreservedAtAnyCorrelation) {
+  const double rho = GetParam();
+  NetemConfig cfg;
+  cfg.loss_probability = 0.1;
+  cfg.loss_correlation = rho;
+  cfg.limit = 100000;
+  NetemQdisc q{cfg, 99};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.id = static_cast<std::uint64_t>(i);
+    pkt.wire_size = 10;
+    q.enqueue(std::move(pkt), TimePoint{});
+  }
+  const double observed = static_cast<double>(q.stats().dropped_loss) / n;
+  // Correlated draws converge slower: widen the tolerance with rho.
+  EXPECT_NEAR(observed, 0.1, 0.01 + 0.02 * rho) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Correlations, CorrelatedLossProperty,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.9));
+
+class RateControlProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateControlProperty, ThroughputMatchesConfiguredRate) {
+  const double rate = GetParam();  // bytes per second
+  NetemConfig cfg;
+  cfg.rate_bytes_per_s = rate;
+  cfg.limit = 100000;
+  NetemQdisc q{cfg, 3};
+  const int n = 500;
+  const std::uint32_t size = 1000;
+  for (int i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.id = static_cast<std::uint64_t>(i);
+    pkt.wire_size = size;
+    q.enqueue(std::move(pkt), TimePoint{});
+  }
+  // Time for all n packets: n * size / rate.
+  const double total_s = n * static_cast<double>(size) / rate;
+  const auto almost = q.dequeue_ready(TimePoint::from_seconds(total_s * 0.95));
+  EXPECT_LT(almost.size(), static_cast<std::size_t>(n));
+  const auto rest = q.dequeue_ready(TimePoint::from_seconds(total_s * 1.001));
+  EXPECT_EQ(almost.size() + rest.size(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateControlProperty,
+                         ::testing::Values(1e4, 1e5, 1e6, 1e7));
+
+class GeModelProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GeModelProperty, StationaryLossMatchesTheory) {
+  const auto [p, r] = GetParam();
+  NetemConfig cfg;
+  GilbertElliott ge;
+  ge.p = p;
+  ge.r = r;
+  ge.h = 0.0;
+  ge.k = 1.0;
+  cfg.gemodel = ge;
+  cfg.limit = 200000;
+  NetemQdisc q{cfg, 321};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.id = static_cast<std::uint64_t>(i);
+    pkt.wire_size = 10;
+    q.enqueue(std::move(pkt), TimePoint{});
+  }
+  const double expected = p / (p + r);
+  const double observed = static_cast<double>(q.stats().dropped_loss) / n;
+  EXPECT_NEAR(observed, expected, 0.25 * expected + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, GeModelProperty,
+    ::testing::Values(std::make_pair(0.01, 0.3), std::make_pair(0.05, 0.2),
+                      std::make_pair(0.002, 0.05)));
+
+}  // namespace
+}  // namespace rdsim::net

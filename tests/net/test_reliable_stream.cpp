@@ -1,0 +1,207 @@
+// TCP-analogue semantics: ordering, retransmission, head-of-line blocking.
+#include <gtest/gtest.h>
+
+#include "net/reliable_stream.hpp"
+
+namespace rdsim::net {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+struct StreamFixture : public ::testing::Test {
+  StreamFixture()
+      : channel{tc, "lo"}, router{channel},
+        stream{router, channel, 1, LinkDirection::kDownlink, config()} {}
+
+  static StreamConfig config() {
+    StreamConfig cfg;
+    cfg.mtu = 1000;
+    return cfg;
+  }
+
+  /// Run the virtual clock forward, polling every millisecond.
+  void run_for(Duration d) {
+    const TimePoint end = now + d;
+    while (now < end) {
+      now += Duration::millis(1);
+      router.poll(now);
+      stream.step(now);
+    }
+  }
+
+  Payload make_message(std::size_t bytes) {
+    Payload p(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) p[i] = static_cast<std::uint8_t>(i * 7);
+    return p;
+  }
+
+  TrafficControl tc;
+  Channel channel;
+  PacketRouter router;
+  ReliableStream stream;
+  TimePoint now;
+};
+
+TEST_F(StreamFixture, DeliversSingleMessage) {
+  const Payload msg = make_message(100);
+  stream.send_message(msg, 100, now);
+  run_for(Duration::millis(5));
+  const auto delivered = stream.pop_delivered();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->bytes, msg);
+  EXPECT_EQ(stream.stats().messages_delivered, 1u);
+}
+
+TEST_F(StreamFixture, SegmentsLargeMessages) {
+  // 10 KB at MTU 1000 = 10 segments.
+  stream.send_message(make_message(500), 10000, now);
+  run_for(Duration::millis(5));
+  EXPECT_EQ(stream.stats().segments_sent, 10u);
+  const auto delivered = stream.pop_delivered();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->bytes.size(), 500u);  // payload reassembled exactly
+}
+
+TEST_F(StreamFixture, InOrderDeliveryOfManyMessages) {
+  for (int i = 0; i < 20; ++i) {
+    Payload msg{static_cast<std::uint8_t>(i)};
+    stream.send_message(msg, 100, now);
+  }
+  run_for(Duration::millis(10));
+  for (int i = 0; i < 20; ++i) {
+    const auto d = stream.pop_delivered();
+    ASSERT_TRUE(d.has_value()) << i;
+    EXPECT_EQ(d->bytes[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST_F(StreamFixture, RecoversFromLossViaRetransmission) {
+  tc.add("lo", parse_netem("loss 30%"));
+  for (int i = 0; i < 50; ++i) {
+    stream.send_message({static_cast<std::uint8_t>(i)}, 100, now);
+  }
+  run_for(Duration::seconds(10.0));
+  int received = 0;
+  while (auto d = stream.pop_delivered()) {
+    EXPECT_EQ(d->bytes[0], static_cast<std::uint8_t>(received));
+    ++received;
+  }
+  EXPECT_EQ(received, 50);
+  EXPECT_GT(stream.stats().retransmits_rto + stream.stats().retransmits_fast, 0u);
+}
+
+TEST_F(StreamFixture, LossCausesHeadOfLineStall) {
+  // With 200 ms min RTO, a lost segment stalls delivery of everything behind
+  // it for on the order of the RTO.
+  tc.add("lo", parse_netem("loss 100%"));
+  stream.send_message({1}, 100, now);
+  run_for(Duration::millis(50));
+  tc.del("lo");
+  stream.send_message({2}, 100, now);
+  run_for(Duration::millis(50));
+  // Message 2's segment arrived, but message 1 blocks delivery.
+  EXPECT_FALSE(stream.pop_delivered().has_value());
+  run_for(Duration::millis(400));  // let the RTO fire and retransmit
+  auto first = stream.pop_delivered();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->bytes[0], 1);
+  auto second = stream.pop_delivered();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->bytes[0], 2);
+  EXPECT_GE(first->latency(), Duration::millis(200));  // paid at least one RTO
+}
+
+TEST_F(StreamFixture, FastRetransmitBeatsRtoWhenTrafficFlows) {
+  // Drop exactly one segment, then keep sending: dup-ACKs should trigger a
+  // fast retransmit well before the 200 ms RTO.
+  tc.add("lo", parse_netem("loss 100%"));
+  stream.send_message({9}, 100, now);
+  run_for(Duration::millis(2));
+  tc.del("lo");
+  for (int i = 0; i < 6; ++i) {
+    stream.send_message({static_cast<std::uint8_t>(i)}, 100, now);
+    run_for(Duration::millis(5));
+  }
+  run_for(Duration::millis(60));
+  EXPECT_GE(stream.stats().retransmits_fast, 1u);
+  auto d = stream.pop_delivered();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->bytes[0], 9);
+  EXPECT_LT(d->latency(), Duration::millis(150));
+}
+
+TEST_F(StreamFixture, DelayInflatesMessageLatency) {
+  tc.add("lo", parse_netem("delay 50ms"));
+  stream.send_message({1}, 100, now);
+  run_for(Duration::millis(200));
+  const auto d = stream.pop_delivered();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(d->latency(), Duration::millis(50));
+  EXPECT_LT(d->latency(), Duration::millis(60));
+}
+
+TEST_F(StreamFixture, DuplicatesAreDiscardedByReceiver) {
+  tc.add("lo", parse_netem("duplicate 100%"));
+  for (int i = 0; i < 10; ++i) stream.send_message({static_cast<std::uint8_t>(i)}, 100, now);
+  run_for(Duration::millis(20));
+  int received = 0;
+  while (stream.pop_delivered()) ++received;
+  EXPECT_EQ(received, 10);
+  EXPECT_GT(stream.stats().stale_segments, 0u);
+}
+
+TEST_F(StreamFixture, CorruptionBehavesAsLoss) {
+  tc.add("lo", parse_netem("corrupt 100%"));
+  stream.send_message({42}, 100, now);
+  run_for(Duration::millis(100));
+  EXPECT_FALSE(stream.pop_delivered().has_value());  // every copy mangled
+  tc.del("lo");
+  run_for(Duration::millis(500));  // retransmission over the clean link
+  const auto d = stream.pop_delivered();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->bytes[0], 42);
+}
+
+TEST_F(StreamFixture, WindowLimitsInFlightSegments) {
+  StreamConfig cfg = config();
+  cfg.window_segments = 4;
+  ReliableStream small{router, channel, 2, LinkDirection::kDownlink, cfg};
+  tc.add("lo", parse_netem("delay 500ms"));  // keep ACKs away
+  for (int i = 0; i < 20; ++i) small.send_message({static_cast<std::uint8_t>(i)}, 100, now);
+  small.step(now);
+  EXPECT_EQ(small.unacked_segments(), 4u);
+  EXPECT_EQ(small.send_backlog(), 16u);
+}
+
+TEST_F(StreamFixture, RtoBacksOffExponentially) {
+  tc.add("lo", parse_netem("loss 100%"));
+  stream.send_message({1}, 100, now);
+  run_for(Duration::seconds(3.0));
+  // With min RTO 200 ms, max 2 s and doubling, ~5-7 attempts fit in 3 s;
+  // without backoff there would be ~15.
+  EXPECT_LE(stream.stats().retransmits_rto, 8u);
+  EXPECT_GE(stream.stats().retransmits_rto, 3u);
+}
+
+TEST_F(StreamFixture, SrttTracksPathDelay) {
+  tc.add("lo", parse_netem("delay 20ms"));
+  for (int i = 0; i < 20; ++i) {
+    stream.send_message({1}, 100, now);
+    run_for(Duration::millis(60));
+    stream.pop_delivered();
+  }
+  EXPECT_NEAR(stream.stats().srtt_ms, 40.0, 10.0);  // both directions delayed
+}
+
+TEST_F(StreamFixture, BidirectionalFaultHitsAcks) {
+  // Even if only data gets through untouched, delayed ACKs stretch the
+  // sender's RTT estimate — both directions share the device.
+  tc.add("lo", parse_netem("delay 100ms"));
+  stream.send_message({1}, 100, now);
+  run_for(Duration::millis(500));
+  EXPECT_GE(stream.stats().srtt_ms, 190.0);
+}
+
+}  // namespace
+}  // namespace rdsim::net

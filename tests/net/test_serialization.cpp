@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "net/serialization.hpp"
+
+namespace rdsim::net {
+namespace {
+
+TEST(ByteWriterReader, RoundTripsAllTypes) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f64(3.14159);
+  w.str("hello world");
+  w.bytes({1, 2, 3});
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, TruncationSetsNotOk) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r{w.data()};
+  r.u32();
+  EXPECT_TRUE(r.ok());
+  r.u32();  // nothing left
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // further reads return zero values
+}
+
+TEST(ByteReader, CorruptLengthPrefixIsSafe) {
+  ByteWriter w;
+  w.u32(1000000);  // claims a million bytes follow
+  ByteReader r{w.data()};
+  const auto s = r.str();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ByteReader, EmptyStringAndBytes) {
+  ByteWriter w;
+  w.str("");
+  w.bytes({});
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace rdsim::net

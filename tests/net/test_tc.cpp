@@ -1,0 +1,167 @@
+// The tc rule language and traffic-control table.
+#include <gtest/gtest.h>
+
+#include "net/tc.hpp"
+
+namespace rdsim::net {
+namespace {
+
+using util::Duration;
+
+TEST(ParseDuration, Units) {
+  EXPECT_EQ(parse_duration("50ms"), Duration::millis(50));
+  EXPECT_EQ(parse_duration("5"), Duration::millis(5));  // bare = ms, tc style
+  EXPECT_EQ(parse_duration("200us"), Duration::micros(200));
+  EXPECT_EQ(parse_duration("1.5s"), Duration::seconds(1.5));
+  EXPECT_EQ(parse_duration("2.5ms"), Duration::micros(2500));
+  EXPECT_THROW(parse_duration("10parsecs"), TcParseError);
+  EXPECT_THROW(parse_duration("fast"), TcParseError);
+}
+
+TEST(ParsePercent, Forms) {
+  EXPECT_DOUBLE_EQ(parse_percent("5%"), 0.05);
+  EXPECT_DOUBLE_EQ(parse_percent("2.5%"), 0.025);
+  EXPECT_DOUBLE_EQ(parse_percent("0.05"), 0.05);  // bare fraction
+  EXPECT_DOUBLE_EQ(parse_percent("100%"), 1.0);
+  EXPECT_THROW(parse_percent("150%"), TcParseError);
+  EXPECT_THROW(parse_percent("-1%"), TcParseError);
+  EXPECT_THROW(parse_percent("5pc"), TcParseError);
+}
+
+TEST(ParseRate, Units) {
+  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("1mbit"), 125000.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("8kbit"), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("1gbit"), 125000000.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("500bps"), 500.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("2kbps"), 2000.0);
+  EXPECT_THROW(parse_rate_bytes_per_s("1lightyear"), TcParseError);
+}
+
+TEST(ParseNetem, DelayOnly) {
+  const auto cfg = parse_netem("netem delay 50ms");
+  EXPECT_EQ(cfg.delay, Duration::millis(50));
+  EXPECT_TRUE(cfg.jitter.is_zero());
+  EXPECT_FALSE(cfg.has_loss());
+}
+
+TEST(ParseNetem, DelayWithJitterAndCorrelation) {
+  const auto cfg = parse_netem("delay 100ms 10ms 25%");
+  EXPECT_EQ(cfg.delay, Duration::millis(100));
+  EXPECT_EQ(cfg.jitter, Duration::millis(10));
+  EXPECT_DOUBLE_EQ(cfg.delay_correlation, 0.25);
+}
+
+TEST(ParseNetem, Distribution) {
+  EXPECT_EQ(parse_netem("delay 10ms 2ms distribution normal").distribution,
+            DelayDistribution::kNormal);
+  EXPECT_EQ(parse_netem("delay 10ms 2ms distribution pareto").distribution,
+            DelayDistribution::kPareto);
+  EXPECT_EQ(parse_netem("delay 10ms 2ms distribution paretonormal").distribution,
+            DelayDistribution::kParetoNormal);
+  EXPECT_THROW(parse_netem("delay 10ms distribution cauchy"), TcParseError);
+}
+
+TEST(ParseNetem, Loss) {
+  const auto cfg = parse_netem("loss 5%");
+  EXPECT_DOUBLE_EQ(cfg.loss_probability, 0.05);
+  const auto corr = parse_netem("loss 5% 25%");
+  EXPECT_DOUBLE_EQ(corr.loss_correlation, 0.25);
+}
+
+TEST(ParseNetem, LossGemodel) {
+  const auto cfg = parse_netem("loss gemodel 1% 10%");
+  ASSERT_TRUE(cfg.gemodel.has_value());
+  EXPECT_DOUBLE_EQ(cfg.gemodel->p, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.gemodel->r, 0.10);
+}
+
+TEST(ParseNetem, CombinedRule) {
+  const auto cfg = parse_netem(
+      "delay 50ms 10ms loss 2% duplicate 1% corrupt 0.5% reorder 25% gap 5 "
+      "rate 10mbit limit 500");
+  EXPECT_EQ(cfg.delay, Duration::millis(50));
+  EXPECT_DOUBLE_EQ(cfg.loss_probability, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.duplicate_probability, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.corrupt_probability, 0.005);
+  EXPECT_DOUBLE_EQ(cfg.reorder_probability, 0.25);
+  EXPECT_EQ(cfg.reorder_gap, 5u);
+  EXPECT_DOUBLE_EQ(cfg.rate_bytes_per_s, 1250000.0);
+  EXPECT_EQ(cfg.limit, 500u);
+}
+
+TEST(ParseNetem, UnknownKeywordThrows) {
+  EXPECT_THROW(parse_netem("warp 9"), TcParseError);
+  EXPECT_THROW(parse_netem("delay"), TcParseError);  // missing value
+}
+
+TEST(TrafficControl, DefaultDeviceIsPfifo) {
+  TrafficControl tc;
+  EXPECT_EQ(tc.root("lo").kind(), "pfifo");
+  EXPECT_FALSE(tc.has_netem("lo"));
+}
+
+TEST(TrafficControl, AddInstallsNetem) {
+  TrafficControl tc;
+  tc.add("lo", parse_netem("delay 50ms"));
+  EXPECT_TRUE(tc.has_netem("lo"));
+  EXPECT_EQ(tc.root("lo").kind(), "netem");
+  ASSERT_TRUE(tc.netem_config("lo").has_value());
+  EXPECT_EQ(tc.netem_config("lo")->delay, Duration::millis(50));
+}
+
+TEST(TrafficControl, DoubleAddFails) {
+  TrafficControl tc;
+  tc.add("lo", parse_netem("delay 5ms"));
+  EXPECT_THROW(tc.add("lo", parse_netem("delay 10ms")), TcParseError);
+}
+
+TEST(TrafficControl, ChangeRequiresExistingRule) {
+  TrafficControl tc;
+  EXPECT_THROW(tc.change("lo", parse_netem("delay 5ms")), TcParseError);
+  tc.add("lo", parse_netem("delay 5ms"));
+  tc.change("lo", parse_netem("loss 5%"));
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+}
+
+TEST(TrafficControl, DelRevertsToPfifoAndDropsQueue) {
+  TrafficControl tc;
+  tc.add("lo", parse_netem("delay 1000ms"));
+  Packet p;
+  p.id = 1;
+  p.wire_size = 10;
+  tc.root("lo").enqueue(std::move(p), util::TimePoint{});
+  EXPECT_EQ(tc.root("lo").backlog(), 1u);
+  tc.del("lo");
+  EXPECT_FALSE(tc.has_netem("lo"));
+  EXPECT_EQ(tc.root("lo").backlog(), 0u);  // kernel drops queued packets
+  EXPECT_THROW(tc.del("lo"), TcParseError);
+}
+
+TEST(TrafficControl, ExecuteFullCommandStrings) {
+  TrafficControl tc;
+  EXPECT_EQ(tc.execute("tc qdisc add dev lo root netem delay 50ms"), "lo");
+  EXPECT_TRUE(tc.has_netem("lo"));
+  tc.execute("qdisc change dev lo root netem loss 5%");
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+  tc.execute("tc qdisc del dev lo root");
+  EXPECT_FALSE(tc.has_netem("lo"));
+}
+
+TEST(TrafficControl, ExecuteRejectsMalformedCommands) {
+  TrafficControl tc;
+  EXPECT_THROW(tc.execute("qdisc add dev"), TcParseError);
+  EXPECT_THROW(tc.execute("qdisc frobnicate dev lo root netem delay 1ms"), TcParseError);
+  EXPECT_THROW(tc.execute("tc filter add dev lo"), TcParseError);
+}
+
+TEST(TrafficControl, IndependentDevices) {
+  TrafficControl tc;
+  tc.add("eth0", parse_netem("delay 5ms"));
+  tc.root("lo");  // materialize the default qdisc on a second device
+  EXPECT_TRUE(tc.has_netem("eth0"));
+  EXPECT_FALSE(tc.has_netem("lo"));
+  EXPECT_EQ(tc.devices().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdsim::net

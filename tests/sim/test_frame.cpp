@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sim/frame.hpp"
+
+namespace rdsim::sim {
+namespace {
+
+WorldFrame sample_frame() {
+  WorldFrame f;
+  f.frame_id = 1234;
+  f.sim_time_us = 5678901;
+  f.weather.night = true;
+  f.weather.fog_density = 0.25;
+  f.ego.id = 1;
+  f.ego.kind = ActorKind::kVehicle;
+  f.ego.state.position = {12.5, -3.25};
+  f.ego.state.heading = 0.75;
+  f.ego.state.velocity = {9.0, 1.0};
+  f.ego.state.accel = {0.5, -0.25};
+  f.ego.control.throttle = 0.4;
+  f.ego.control.steer = -0.2;
+  f.ego.control.brake = 0.0;
+  ActorSnapshot other;
+  other.id = 2;
+  other.kind = ActorKind::kCyclist;
+  other.state.position = {40.0, 1.5};
+  other.bbox = BoundingBox{0.9, 0.35};
+  f.others.push_back(other);
+  return f;
+}
+
+TEST(WorldFrame, EncodeDecodeRoundTrip) {
+  const WorldFrame f = sample_frame();
+  const auto decoded = WorldFrame::decode(f.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->frame_id, f.frame_id);
+  EXPECT_EQ(decoded->sim_time_us, f.sim_time_us);
+  EXPECT_TRUE(decoded->weather.night);
+  EXPECT_DOUBLE_EQ(decoded->weather.fog_density, 0.25);
+  EXPECT_EQ(decoded->ego.id, 1u);
+  EXPECT_DOUBLE_EQ(decoded->ego.state.position.x, 12.5);
+  EXPECT_DOUBLE_EQ(decoded->ego.state.heading, 0.75);
+  EXPECT_DOUBLE_EQ(decoded->ego.control.steer, -0.2);
+  ASSERT_EQ(decoded->others.size(), 1u);
+  EXPECT_EQ(decoded->others[0].kind, ActorKind::kCyclist);
+  EXPECT_DOUBLE_EQ(decoded->others[0].bbox.half_width, 0.35);
+}
+
+TEST(WorldFrame, SimTimeConversion) {
+  WorldFrame f;
+  f.sim_time_us = 2500000;
+  EXPECT_DOUBLE_EQ(f.sim_time_s(), 2.5);
+}
+
+TEST(WorldFrame, DecodeTruncatedFails) {
+  const auto bytes = sample_frame().encode();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+    net::Payload partial(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(WorldFrame::decode(partial).has_value()) << cut;
+  }
+}
+
+TEST(WorldFrame, DecodeBogusActorCountFails) {
+  // A corrupted count field must not trigger a huge allocation.
+  WorldFrame f = sample_frame();
+  f.others.clear();
+  auto bytes = f.encode();
+  // The actor-count u32 sits right after the fixed ego block; patch the last
+  // four bytes (count is the final field when others is empty).
+  bytes[bytes.size() - 4] = 0xFF;
+  bytes[bytes.size() - 3] = 0xFF;
+  bytes[bytes.size() - 2] = 0xFF;
+  bytes[bytes.size() - 1] = 0x7F;
+  EXPECT_FALSE(WorldFrame::decode(bytes).has_value());
+}
+
+TEST(WorldFrame, EmptyOthersRoundTrip) {
+  WorldFrame f = sample_frame();
+  f.others.clear();
+  const auto decoded = WorldFrame::decode(f.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->others.empty());
+}
+
+}  // namespace
+}  // namespace rdsim::sim

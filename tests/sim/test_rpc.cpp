@@ -1,0 +1,190 @@
+// The CARLA-style RPC layer, including its behaviour under injected faults.
+#include <gtest/gtest.h>
+
+#include "sim/rpc.hpp"
+
+namespace rdsim::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+struct RpcFixture : public ::testing::Test {
+  RpcFixture()
+      : world{make_town05_route()},
+        channel{tc, "lo"},
+        router{channel},
+        transport{router, channel},
+        server{world, transport},
+        client{transport} {}
+
+  /// Advance virtual time, pumping the whole stack each millisecond.
+  void pump(Duration d) {
+    const TimePoint end = now + d;
+    while (now < end) {
+      now += Duration::millis(1);
+      router.poll(now);
+      server.step(now);
+      client.step(now);
+    }
+  }
+
+  /// Issue-and-wait helper: pumps until the response arrives (or 5 s).
+  RpcResponse roundtrip(std::uint32_t request_id) {
+    for (int i = 0; i < 5000; ++i) {
+      if (auto resp = client.take_response(request_id)) return *resp;
+      pump(Duration::millis(1));
+    }
+    ADD_FAILURE() << "rpc timeout";
+    return {};
+  }
+
+  World world;
+  net::TrafficControl tc;
+  net::Channel channel;
+  net::PacketRouter router;
+  RpcTransport transport;
+  SimServer server;
+  SimClient client;
+  TimePoint now;
+};
+
+TEST_F(RpcFixture, HelloRoundTrip) {
+  const auto resp = roundtrip(client.hello());
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(client.pending_requests(), 0u);
+}
+
+TEST_F(RpcFixture, SpawnControlSnapshotCycle) {
+  const auto spawn = roundtrip(client.spawn_vehicle(ActorKind::kVehicle, 100.0, 0.0,
+                                                    5.0, "remote"));
+  ASSERT_TRUE(spawn.ok);
+  ASSERT_NE(spawn.actor, kInvalidActor);
+  EXPECT_NE(world.find(spawn.actor), nullptr);
+
+  VehicleControl c;
+  c.throttle = 0.8;
+  ASSERT_TRUE(roundtrip(client.apply_control(spawn.actor, c)).ok);
+  EXPECT_DOUBLE_EQ(world.find(spawn.actor)->vehicle().control().throttle, 0.8);
+
+  // Let physics run, then fetch a snapshot over the wire.
+  for (int i = 0; i < 100; ++i) world.step(0.01);
+  const auto snap = roundtrip(client.get_snapshot());
+  ASSERT_TRUE(snap.ok);
+  ASSERT_TRUE(snap.snapshot.has_value());
+  // No ego designated: every actor appears in `others`.
+  ASSERT_EQ(snap.snapshot->others.size(), world.actor_count());
+  EXPECT_EQ(snap.snapshot->others[0].id, spawn.actor);
+  EXPECT_GT(snap.snapshot->others[0].state.velocity.norm(), 1.0);
+}
+
+TEST_F(RpcFixture, MetaCommandSetsWeather) {
+  WeatherConfig weather;
+  weather.night = true;
+  weather.fog_density = 0.4;
+  ASSERT_TRUE(roundtrip(client.set_weather(weather)).ok);
+  EXPECT_TRUE(world.weather().night);
+  EXPECT_DOUBLE_EQ(world.weather().fog_density, 0.4);
+}
+
+TEST_F(RpcFixture, DestroyActorAndErrors) {
+  const auto spawn = roundtrip(client.spawn_vehicle(ActorKind::kStaticVehicle, 50.0, 0.0));
+  ASSERT_TRUE(spawn.ok);
+  ASSERT_TRUE(roundtrip(client.destroy_actor(spawn.actor)).ok);
+  EXPECT_EQ(world.find(spawn.actor), nullptr);
+  const auto again = roundtrip(client.destroy_actor(spawn.actor));
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.error, "no such actor");
+  const auto bad_ctl = roundtrip(client.apply_control(9999, VehicleControl{}));
+  EXPECT_FALSE(bad_ctl.ok);
+}
+
+TEST_F(RpcFixture, FrameSubscriptionStreams) {
+  const auto spawn = roundtrip(client.spawn_vehicle(ActorKind::kVehicle, 10.0, 0.0));
+  ASSERT_TRUE(spawn.ok);
+  world.designate_ego(spawn.actor);
+  server.set_frame_wire_bytes(100000);
+  ASSERT_TRUE(roundtrip(client.subscribe_frames(20.0)).ok);
+  int frames = 0;
+  for (int i = 0; i < 1000; ++i) {
+    world.step(0.001);
+    pump(Duration::millis(1));
+    if (client.take_frame()) ++frames;
+  }
+  // 1 s at 20 fps.
+  EXPECT_NEAR(frames, 20, 4);
+  EXPECT_FALSE(roundtrip(client.subscribe_frames(-1.0)).ok);
+}
+
+TEST_F(RpcFixture, MetaCommandsSufferInjectedDelay) {
+  // §III.C: the fault injector disturbs everything on the device — RPC too.
+  tc.add("lo", net::parse_netem("delay 80ms"));
+  const TimePoint before = now;
+  const auto resp = roundtrip(client.hello());
+  EXPECT_TRUE(resp.ok);
+  EXPECT_GE((now - before).to_seconds(), 0.16);  // 80 ms each way
+}
+
+TEST_F(RpcFixture, SurvivesPacketLoss) {
+  tc.add("lo", net::parse_netem("loss 20%"));
+  const auto spawn = roundtrip(client.spawn_vehicle(ActorKind::kVehicle, 25.0, 3.5));
+  EXPECT_TRUE(spawn.ok);  // the reliable stream retransmits through the loss
+}
+
+TEST(RpcMessages, RequestEncodeDecodeAllOpcodes) {
+  RpcRequest req;
+  req.request_id = 9;
+  req.opcode = RpcOpcode::kSpawnVehicle;
+  req.kind = ActorKind::kCyclist;
+  req.spawn_s = 12.5;
+  req.spawn_lateral = -1.45;
+  req.initial_speed = 4.0;
+  req.role = "cyclist-1";
+  const auto decoded = RpcRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, 9u);
+  EXPECT_EQ(decoded->kind, ActorKind::kCyclist);
+  EXPECT_EQ(decoded->role, "cyclist-1");
+  EXPECT_DOUBLE_EQ(decoded->spawn_lateral, -1.45);
+
+  RpcRequest ctl;
+  ctl.opcode = RpcOpcode::kApplyControl;
+  ctl.actor = 3;
+  ctl.control.steer = -0.5;
+  ctl.control.reverse = true;
+  const auto ctl2 = RpcRequest::decode(ctl.encode());
+  ASSERT_TRUE(ctl2.has_value());
+  EXPECT_DOUBLE_EQ(ctl2->control.steer, -0.5);
+  EXPECT_TRUE(ctl2->control.reverse);
+
+  EXPECT_FALSE(RpcRequest::decode({1, 2}).has_value());
+  net::Payload bogus_opcode{0, 0, 0, 0, 99};
+  EXPECT_FALSE(RpcRequest::decode(bogus_opcode).has_value());
+}
+
+TEST(RpcMessages, ResponseEncodeDecodeWithSnapshot) {
+  RpcResponse resp;
+  resp.request_id = 5;
+  resp.ok = true;
+  WorldFrame frame;
+  frame.frame_id = 77;
+  resp.snapshot = frame;
+  const auto decoded = RpcResponse::decode(resp.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->snapshot.has_value());
+  EXPECT_EQ(decoded->snapshot->frame_id, 77u);
+
+  RpcResponse err;
+  err.request_id = 6;
+  err.ok = false;
+  err.error = "nope";
+  const auto decoded_err = RpcResponse::decode(err.encode());
+  ASSERT_TRUE(decoded_err.has_value());
+  EXPECT_FALSE(decoded_err->ok);
+  EXPECT_EQ(decoded_err->error, "nope");
+  EXPECT_FALSE(decoded_err->snapshot.has_value());
+}
+
+}  // namespace
+}  // namespace rdsim::sim

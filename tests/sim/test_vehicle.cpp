@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/vehicle.hpp"
+
+namespace rdsim::sim {
+namespace {
+
+constexpr double kDt = 0.01;
+
+Vehicle stationary_vehicle() {
+  Vehicle v{VehicleParams{}};
+  KinematicState st;
+  v.set_state(st);
+  return v;
+}
+
+void run(Vehicle& v, double seconds) {
+  const int steps = static_cast<int>(seconds / kDt);
+  for (int i = 0; i < steps; ++i) v.step(kDt);
+}
+
+TEST(Vehicle, AcceleratesUnderThrottle) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.throttle = 1.0;
+  v.apply_control(c);
+  run(v, 3.0);
+  EXPECT_GT(v.forward_speed(), 5.0);
+  EXPECT_LT(v.forward_speed(), 10.0);  // drag + lag keep it sane
+  EXPECT_GT(v.state().position.x, 5.0);
+  EXPECT_NEAR(v.state().position.y, 0.0, 1e-9);  // straight line
+}
+
+TEST(Vehicle, BrakingStopsButDoesNotReverse) {
+  Vehicle v = stationary_vehicle();
+  KinematicState st;
+  st.velocity = {15.0, 0.0};
+  v.set_state(st);
+  EXPECT_NEAR(v.forward_speed(), 15.0, 1e-9);
+  VehicleControl c;
+  c.brake = 1.0;
+  v.apply_control(c);
+  run(v, 5.0);
+  EXPECT_NEAR(v.forward_speed(), 0.0, 1e-6);
+}
+
+TEST(Vehicle, FullBrakeStoppingDistancePlausible) {
+  // ~8 m/s^2 peak decel from 20 m/s: v^2/(2a) = 25 m plus actuation lag.
+  Vehicle v = stationary_vehicle();
+  KinematicState st;
+  st.velocity = {20.0, 0.0};
+  v.set_state(st);
+  VehicleControl c;
+  c.brake = 1.0;
+  v.apply_control(c);
+  run(v, 6.0);
+  EXPECT_GT(v.state().position.x, 24.0);
+  EXPECT_LT(v.state().position.x, 36.0);
+}
+
+TEST(Vehicle, TopSpeedLimited) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.throttle = 1.0;
+  v.apply_control(c);
+  run(v, 120.0);
+  EXPECT_LT(v.forward_speed(), v.params().max_speed + 0.5);
+  EXPECT_GT(v.forward_speed(), 20.0);
+}
+
+TEST(Vehicle, ReverseDrivesBackwards) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.throttle = 0.6;
+  c.reverse = true;
+  v.apply_control(c);
+  run(v, 3.0);
+  EXPECT_LT(v.forward_speed(), -0.5);
+  EXPECT_LT(v.state().position.x, -0.5);
+}
+
+TEST(Vehicle, TurningRadiusMatchesBicycleModel) {
+  // At constant speed and steering angle, radius = wheelbase / tan(delta).
+  VehicleParams params;
+  Vehicle v{params};
+  KinematicState st;
+  st.velocity = {8.0, 0.0};
+  v.set_state(st);
+  VehicleControl c;
+  c.steer = 0.5;  // half of max steer
+  c.throttle = 0.35;
+  v.apply_control(c);
+  run(v, 1.0);  // let the wheel settle
+  const double delta = v.steer_angle();
+  const double expected_radius = params.wheelbase / std::tan(delta);
+  // Measure the turn radius from yaw rate: R = v / yaw_rate.
+  const double h0 = v.state().heading;
+  const double speed = v.forward_speed();
+  run(v, 0.5);
+  const double yaw_rate = util::wrap_angle(v.state().heading - h0) / 0.5;
+  EXPECT_NEAR(speed / yaw_rate, expected_radius, expected_radius * 0.1);
+}
+
+TEST(Vehicle, SteeringRateLimited) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.steer = 1.0;
+  v.apply_control(c);
+  v.step(kDt);
+  const double after_one = v.steer_angle();
+  EXPECT_LE(after_one, util::deg_to_rad(v.params().max_steer_rate_deg) * kDt + 1e-9);
+  run(v, 1.0);
+  EXPECT_NEAR(v.steer_angle(), util::deg_to_rad(v.params().max_steer_deg), 1e-6);
+}
+
+TEST(Vehicle, ControlClamped) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.throttle = 7.0;
+  c.steer = -3.0;
+  c.brake = -1.0;
+  v.apply_control(c);
+  EXPECT_DOUBLE_EQ(v.control().throttle, 1.0);
+  EXPECT_DOUBLE_EQ(v.control().steer, -1.0);
+  EXPECT_DOUBLE_EQ(v.control().brake, 0.0);
+}
+
+TEST(Vehicle, HandBrakeStops) {
+  Vehicle v = stationary_vehicle();
+  KinematicState st;
+  st.velocity = {10.0, 0.0};
+  v.set_state(st);
+  VehicleControl c;
+  c.hand_brake = true;
+  v.apply_control(c);
+  run(v, 3.0);
+  EXPECT_NEAR(v.forward_speed(), 0.0, 0.2);
+}
+
+TEST(Vehicle, CoastingDeceleratesSlowly) {
+  Vehicle v = stationary_vehicle();
+  KinematicState st;
+  st.velocity = {10.0, 0.0};
+  v.set_state(st);
+  v.apply_control(VehicleControl{});
+  run(v, 2.0);
+  EXPECT_LT(v.forward_speed(), 10.0);
+  EXPECT_GT(v.forward_speed(), 8.5);  // rolling resistance only
+}
+
+TEST(Vehicle, ZeroDtIsNoOp) {
+  Vehicle v = stationary_vehicle();
+  VehicleControl c;
+  c.throttle = 1.0;
+  v.apply_control(c);
+  v.step(0.0);
+  v.step(-1.0);
+  EXPECT_DOUBLE_EQ(v.forward_speed(), 0.0);
+}
+
+TEST(VehicleParams, ScaledModelVehicleIsSmallerAndSlower) {
+  const auto m = VehicleParams::scaled_model_vehicle();
+  const VehicleParams full;
+  EXPECT_LT(m.wheelbase, full.wheelbase / 4.0);
+  EXPECT_LT(m.max_speed, 10.0);
+  EXPECT_LT(m.bbox.half_length, 0.5);
+}
+
+}  // namespace
+}  // namespace rdsim::sim

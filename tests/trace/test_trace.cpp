@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "trace/trace.hpp"
+
+namespace rdsim::trace {
+namespace {
+
+TEST(TraceRecorder, SamplesAtConfiguredRate) {
+  sim::World world{sim::make_town05_route()};
+  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, 0.0, 0, {}, 10.0, "ego");
+  world.designate_ego(ego);
+  world.spawn_on_road(sim::ActorKind::kStaticVehicle, 100.0, 1, {}, 0.0, "parked");
+
+  TraceRecorder rec{"run", "T1", false, /*sample_hz=*/10.0};
+  for (int i = 0; i < 100; ++i) {  // 1 s at 100 Hz physics
+    world.step(0.01);
+    rec.step(world);
+  }
+  const RunTrace& t = rec.trace();
+  EXPECT_NEAR(static_cast<double>(t.ego.size()), 10.0, 2.0);
+  EXPECT_EQ(t.others.size(), t.ego.size());  // one other actor per tick
+  EXPECT_EQ(t.others.front().role, "parked");
+  EXPECT_GT(t.others.front().distance, 90.0);
+}
+
+TEST(TraceRecorder, CapturesSensorEvents) {
+  sim::World world{sim::make_town05_route()};
+  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, 0.0, 0, {}, 12.0, "ego");
+  world.designate_ego(ego);
+  world.spawn_on_road(sim::ActorKind::kStaticVehicle, 30.0, 0, {}, 0.0, "wall");
+  sim::VehicleControl c;
+  c.throttle = 0.5;
+  world.apply_ego_control(c);
+
+  TraceRecorder rec{"run", "T1", true};
+  for (int i = 0; i < 600; ++i) {
+    world.step(0.01);
+    rec.step(world);
+  }
+  EXPECT_FALSE(rec.trace().collisions.empty());
+  EXPECT_EQ(rec.trace().collisions.front().other_kind, "static_vehicle");
+}
+
+TEST(TraceRecorder, IngestsFaultLog) {
+  net::TrafficControl tc;
+  net::FaultInjector inj{tc, "lo"};
+  inj.inject({net::FaultKind::kDelay, 50.0}, util::TimePoint::from_seconds(1.0));
+  inj.remove(util::TimePoint::from_seconds(2.5));
+
+  TraceRecorder rec{"run", "T1", true};
+  rec.ingest_fault_log(inj.log());
+  const RunTrace t = rec.take();
+  ASSERT_EQ(t.faults.size(), 2u);
+  EXPECT_EQ(t.faults[0].fault_type, "delay");
+  EXPECT_EQ(t.faults[0].label, "50ms");
+  EXPECT_TRUE(t.faults[0].added);
+  EXPECT_DOUBLE_EQ(t.faults[1].t, 2.5);
+}
+
+RunTrace make_rich_trace() {
+  RunTrace t;
+  t.run_id = "T5-FI";
+  t.subject = "T5";
+  t.fault_injected_run = true;
+  for (int i = 0; i < 50; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.frame = static_cast<std::uint32_t>(i);
+    e.x = i * 0.5;
+    e.y = -1.0;
+    e.vx = 10.0;
+    e.ax = 0.1;
+    e.throttle = 0.3;
+    e.steer = 0.01 * i;
+    e.brake = 0.0;
+    t.ego.push_back(e);
+    trace::OtherSample o;
+    o.actor = 2;
+    o.role = "lead";
+    o.t = e.t;
+    o.distance = 25.0;
+    o.x = e.x + 25.0;
+    o.vx = 10.0;
+    t.others.push_back(o);
+  }
+  t.collisions.push_back({1.5, 30, 2, "vehicle", 3.5});
+  t.lane_invasions.push_back({0.8, 16, "broken", 0, 1});
+  t.faults.push_back({0.5, "loss", 0.05, true, "5%"});
+  t.faults.push_back({1.9, "loss", 0.05, false, "5%"});
+  return t;
+}
+
+TEST(RunTrace, CsvRoundTrip) {
+  const RunTrace original = make_rich_trace();
+  const RunTrace parsed = RunTrace::from_csv(original.ego_csv(), original.others_csv(),
+                                             original.events_csv());
+  ASSERT_EQ(parsed.ego.size(), original.ego.size());
+  EXPECT_NEAR(parsed.ego[10].x, original.ego[10].x, 1e-6);
+  EXPECT_NEAR(parsed.ego[10].steer, original.ego[10].steer, 1e-6);
+  ASSERT_EQ(parsed.others.size(), original.others.size());
+  EXPECT_EQ(parsed.others[0].role, "lead");
+  EXPECT_NEAR(parsed.others[0].distance, 25.0, 1e-6);
+  ASSERT_EQ(parsed.collisions.size(), 1u);
+  EXPECT_EQ(parsed.collisions[0].other_kind, "vehicle");
+  ASSERT_EQ(parsed.lane_invasions.size(), 1u);
+  EXPECT_EQ(parsed.lane_invasions[0].marking, "broken");
+  ASSERT_EQ(parsed.faults.size(), 2u);
+  EXPECT_EQ(parsed.faults[0].label, "5%");
+  EXPECT_TRUE(parsed.faults[0].added);
+  EXPECT_FALSE(parsed.faults[1].added);
+}
+
+TEST(RunTrace, SteeringSeriesExtraction) {
+  const RunTrace t = make_rich_trace();
+  const auto steer = t.steering_series();
+  const auto time = t.time_series();
+  ASSERT_EQ(steer.size(), t.ego.size());
+  ASSERT_EQ(time.size(), t.ego.size());
+  EXPECT_DOUBLE_EQ(steer[20], 0.2);
+  EXPECT_NEAR(t.duration_s(), 49 * 0.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace rdsim::trace

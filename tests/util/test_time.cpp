@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace rdsim::util {
+namespace {
+
+TEST(Duration, Construction) {
+  EXPECT_EQ(Duration::micros(1500).count_micros(), 1500);
+  EXPECT_EQ(Duration::millis(3).count_micros(), 3000);
+  EXPECT_EQ(Duration::seconds(0.5).count_micros(), 500000);
+  EXPECT_TRUE(Duration{}.is_zero());
+  EXPECT_TRUE(Duration::millis(-1).is_negative());
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).count_micros(), 14000);
+  EXPECT_EQ((a - b).count_micros(), 6000);
+  EXPECT_EQ((a * 3).count_micros(), 30000);
+  EXPECT_EQ((3 * a).count_micros(), 30000);
+  EXPECT_EQ((a / 2).count_micros(), 5000);
+  EXPECT_EQ((-a).count_micros(), -10000);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.count_micros(), 14000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).to_millis(), 250.0);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::millis(2), Duration::millis(2));
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::from_seconds(1.0);
+  const TimePoint t1 = t0 + Duration::millis(500);
+  EXPECT_EQ(t1.count_micros(), 1500000);
+  EXPECT_EQ((t1 - t0).count_micros(), 500000);
+  EXPECT_EQ((t1 - Duration::millis(500)), t0);
+  TimePoint t2 = t0;
+  t2 += Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 3.0);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), TimePoint{});
+  clock.advance(Duration::millis(20));
+  clock.advance(Duration::millis(20));
+  EXPECT_DOUBLE_EQ(clock.now().to_seconds(), 0.04);
+  // Negative advances are ignored: the clock never goes backwards.
+  clock.advance(Duration::millis(-100));
+  EXPECT_DOUBLE_EQ(clock.now().to_seconds(), 0.04);
+  clock.reset();
+  EXPECT_EQ(clock.now(), TimePoint{});
+}
+
+}  // namespace
+}  // namespace rdsim::util

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/vec2.hpp"
+
+namespace rdsim::util {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, BasicOps) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{1.0, -2.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 2.0));
+  EXPECT_EQ(a - b, Vec2(2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(6.0, 8.0));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, Vec2(1.5, 2.0));
+  EXPECT_EQ(-a, Vec2(-3.0, -4.0));
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 3.0 - 8.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -6.0 - 4.0);
+}
+
+TEST(Vec2, Normalized) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).normalized().norm(), 1.0);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero
+}
+
+TEST(Vec2, PerpIsCcw) {
+  const Vec2 x{1.0, 0.0};
+  EXPECT_EQ(x.perp(), Vec2(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(x.cross(x.perp()), 1.0);
+}
+
+TEST(Vec2, Rotation) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.rotated(kPi).x, -1.0, 1e-12);
+}
+
+TEST(Vec2, HeadingRoundTrip) {
+  for (double h = -3.0; h <= 3.0; h += 0.37) {
+    EXPECT_NEAR(Vec2::from_heading(h).heading(), h, 1e-12) << h;
+  }
+}
+
+TEST(WrapAngle, WrapsIntoHalfOpenInterval) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(kPi / 2), kPi / 2, 1e-12);
+  EXPECT_NEAR(wrap_angle(2.0 * kPi + 0.1), 0.1, 1e-12);
+  EXPECT_NEAR(wrap_angle(-2.0 * kPi - 0.1), -0.1, 1e-12);
+  EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);  // pi maps to +pi
+}
+
+class WrapAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapAngleSweep, EquivalentModulo2Pi) {
+  const double a = GetParam();
+  const double w = wrap_angle(a);
+  EXPECT_GT(w, -kPi - 1e-12);
+  EXPECT_LE(w, kPi + 1e-12);
+  EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+  EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, WrapAngleSweep,
+                         ::testing::Values(-100.0, -7.7, -3.3, -0.5, 0.0, 0.5, 3.3, 7.7,
+                                           42.0, 1234.5));
+
+TEST(Scalars, ClampAndLerp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2), 90.0);
+}
+
+TEST(Pose, WorldLocalRoundTrip) {
+  const Pose pose{{10.0, -5.0}, 0.7};
+  const Vec2 p{3.0, 4.0};
+  const Vec2 world = pose.to_world(p);
+  const Vec2 back = pose.to_local(world);
+  EXPECT_NEAR(back.x, p.x, 1e-12);
+  EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(Pose, ForwardLeftOrthogonal) {
+  const Pose pose{{0.0, 0.0}, 1.1};
+  EXPECT_NEAR(pose.forward().dot(pose.left()), 0.0, 1e-12);
+  EXPECT_NEAR(pose.forward().cross(pose.left()), 1.0, 1e-12);
+}
+
+TEST(Pose, LocalFrameConvention) {
+  // +x forward, +y left.
+  const Pose pose{{0.0, 0.0}, 0.0};
+  const Vec2 ahead = pose.to_local({5.0, 0.0});
+  EXPECT_NEAR(ahead.x, 5.0, 1e-12);
+  const Vec2 left = pose.to_local({0.0, 2.0});
+  EXPECT_NEAR(left.y, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdsim::util
