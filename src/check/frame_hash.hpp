@@ -1,0 +1,28 @@
+// Fingerprints of concrete simulator state, for the replay detector.
+//
+// Lives apart from check/replay.hpp so the dependency arrow stays one-way:
+// sim/net link the contract layer, and only this translation unit (linked by
+// the session layer) knows how to hash their types.
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel.hpp"
+#include "net/qdisc.hpp"
+#include "sim/frame.hpp"
+
+namespace rdsim::check {
+
+/// Bit-exact fingerprint of one world snapshot (ego + all other actors +
+/// weather + timestamps).
+std::uint64_t hash_frame(const sim::WorldFrame& frame);
+
+/// Fingerprint of a qdisc's externally visible state (counters + backlog +
+/// next release time).
+std::uint64_t hash_qdisc(const net::Qdisc& qdisc);
+
+/// Fingerprint of a channel's delivery state (per-direction stats, inbox
+/// depths, packets in flight).
+std::uint64_t hash_channel(const net::Channel& channel);
+
+}  // namespace rdsim::check

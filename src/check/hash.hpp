@@ -1,0 +1,44 @@
+// Deterministic 64-bit streaming hash (FNV-1a) for replay fingerprints.
+//
+// Doubles are hashed by bit pattern (std::bit_cast), so two runs hash equal
+// iff their states are bit-identical — which is exactly the reproducibility
+// contract the virtual clock and PCG32 RNG are supposed to give us.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rdsim::check {
+
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+  }
+
+  void u8(std::uint8_t v) { update(&v, sizeof v); }
+  void u32(std::uint32_t v) { update(&v, sizeof v); }
+  void u64(std::uint64_t v) { update(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    update(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t state_{kOffsetBasis};
+};
+
+}  // namespace rdsim::check

@@ -1,0 +1,65 @@
+#include "check/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/contracts.hpp"
+
+namespace rdsim::check {
+
+void ReplayRecorder::record_tick(std::uint64_t tick, std::uint64_t frame_hash,
+                                 std::uint64_t net_hash) {
+  RDSIM_REQUIRE(chain_.empty() || tick >= chain_.back().tick,
+                "replay ticks must be recorded in non-decreasing order");
+  chain_.push_back(TickHash{tick, frame_hash, net_hash});
+  running_.u64(tick);
+  running_.u64(frame_hash);
+  running_.u64(net_hash);
+}
+
+void ReplayRecorder::clear() {
+  chain_.clear();
+  running_ = Fnv1a{};
+}
+
+std::string DivergenceReport::summary() const {
+  if (!diverged) return "replays identical";
+  std::ostringstream os;
+  if (length_mismatch) {
+    os << "replays agree on the common prefix but differ in length from index "
+       << first_divergent_index;
+    return os.str();
+  }
+  os << "first divergence at tick " << first_divergent_tick << " (index "
+     << first_divergent_index << "):";
+  if (frame_differs) os << " frame state differs";
+  if (net_differs) os << (frame_differs ? "," : "") << " network state differs";
+  return os.str();
+}
+
+DivergenceReport diff_replays(const ReplayRecorder& a, const ReplayRecorder& b) {
+  DivergenceReport report;
+  const auto& ca = a.chain();
+  const auto& cb = b.chain();
+  const std::size_t common = std::min(ca.size(), cb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (ca[i] == cb[i]) continue;
+    report.diverged = true;
+    report.first_divergent_index = i;
+    report.first_divergent_tick = ca[i].tick;
+    report.frame_differs =
+        ca[i].frame_hash != cb[i].frame_hash || ca[i].tick != cb[i].tick;
+    report.net_differs = ca[i].net_hash != cb[i].net_hash;
+    return report;
+  }
+  if (ca.size() != cb.size()) {
+    report.diverged = true;
+    report.length_mismatch = true;
+    report.first_divergent_index = common;
+    report.first_divergent_tick =
+        common < ca.size() ? ca[common].tick : cb[common].tick;
+  }
+  return report;
+}
+
+}  // namespace rdsim::check

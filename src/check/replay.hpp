@@ -1,0 +1,64 @@
+// Replay-divergence detection.
+//
+// Determinism is the testbed's core promise: two runs with the same seed
+// must produce bit-identical trajectories, or every downstream safety metric
+// is noise. A ReplayRecorder captures a per-tick fingerprint — one hash of
+// the world frame, one of the network-link state — and diff_replays() finds
+// the *first* tick where two recordings disagree, turning "the campaigns
+// differ somewhere" into "tick 1742, frame state diverged".
+//
+// This header is dependency-free; hashes of concrete simulator types live in
+// check/frame_hash.hpp so low-level libraries can link the contract layer
+// without pulling in sim/net.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/hash.hpp"
+
+namespace rdsim::check {
+
+/// Fingerprint of one simulation tick.
+struct TickHash {
+  std::uint64_t tick{0};        ///< physics frame counter
+  std::uint64_t frame_hash{0};  ///< world snapshot fingerprint
+  std::uint64_t net_hash{0};    ///< qdisc/channel state fingerprint
+
+  friend bool operator==(const TickHash&, const TickHash&) = default;
+};
+
+/// Accumulates the per-tick hash chain of one run.
+class ReplayRecorder {
+ public:
+  void record_tick(std::uint64_t tick, std::uint64_t frame_hash, std::uint64_t net_hash);
+
+  const std::vector<TickHash>& chain() const { return chain_; }
+  std::size_t size() const { return chain_.size(); }
+  void clear();
+
+  /// Order-sensitive digest of the whole chain; equal digests <=> equal chains.
+  std::uint64_t chain_digest() const { return running_.digest(); }
+
+ private:
+  std::vector<TickHash> chain_;
+  Fnv1a running_;
+};
+
+/// Where and how two recordings first disagree.
+struct DivergenceReport {
+  bool diverged{false};
+  bool length_mismatch{false};  ///< one run recorded more ticks, common prefix equal
+  std::size_t first_divergent_index{0};
+  std::uint64_t first_divergent_tick{0};
+  bool frame_differs{false};
+  bool net_differs{false};
+
+  std::string summary() const;
+};
+
+/// Compare two recordings; pinpoints the first divergent tick.
+DivergenceReport diff_replays(const ReplayRecorder& a, const ReplayRecorder& b);
+
+}  // namespace rdsim::check

@@ -1,5 +1,6 @@
 #include "core/teleop.hpp"
 
+#include "check/frame_hash.hpp"
 #include "sim/frame.hpp"
 
 namespace rdsim::core {
@@ -136,6 +137,14 @@ bool TeleopSession::step() {
   while (next_physics_ <= now) {
     vehicle_.step_physics(physics_dt_.to_seconds());
     recorder_.step(vehicle_.world());
+    if (config_.replay != nullptr) {
+      check::Fnv1a net;
+      net.u64(check::hash_channel(channel_));
+      net.u64(check::hash_qdisc(tc_.root(config_.rds.device)));
+      config_.replay->record_tick(vehicle_.world().frame_counter(),
+                                  check::hash_frame(vehicle_.world().snapshot()),
+                                  net.digest());
+    }
     next_physics_ += physics_dt_;
   }
 

@@ -12,6 +12,7 @@
 // video at 25-30 fps and commands at the client rate.
 #pragma once
 
+#include "check/replay.hpp"
 #include "core/operator_subsystem.hpp"
 #include "core/subjects.hpp"
 #include "core/vehicle_subsystem.hpp"
@@ -39,6 +40,11 @@ struct RunConfig {
   SafetyMonitorConfig safety{};
   DriverParams driver{};
   std::uint64_t seed{1};
+  /// When set, every physics tick appends a (frame hash, network hash) pair
+  /// so two runs can be diffed to the first divergent tick. Borrowed; must
+  /// outlive the session. Off (null) by default — recording costs one world
+  /// snapshot per physics tick.
+  check::ReplayRecorder* replay{nullptr};
 };
 
 struct RunResult {

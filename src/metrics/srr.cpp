@@ -1,7 +1,9 @@
 #include "metrics/srr.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "check/contracts.hpp"
 #include "util/filters.hpp"
 
 namespace rdsim::metrics {
@@ -26,7 +28,11 @@ SrrResult SrrAnalyzer::analyze_window(const trace::RunTrace& run, double start,
 SrrResult SrrAnalyzer::analyze_series(const std::vector<double>& t,
                                       const std::vector<double>& steer_fraction) const {
   SrrResult result;
+  RDSIM_REQUIRE(t.size() == steer_fraction.size(),
+                "SRR input: time and steering series must be the same length");
   if (t.size() < 3 || t.size() != steer_fraction.size()) return result;
+  RDSIM_REQUIRE(std::is_sorted(t.begin(), t.end()),
+                "SRR input: time series must be non-decreasing");
   result.duration_s = t.back() - t.front();
   if (result.duration_s < config_.min_duration_s) {
     // Too short to yield a meaningful rate; report zero but keep duration.

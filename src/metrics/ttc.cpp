@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+
+#include "check/contracts.hpp"
 
 namespace rdsim::metrics {
 
@@ -16,7 +19,10 @@ std::vector<TtcSample> TtcAnalyzer::series(const trace::RunTrace& run) const {
   }
 
   std::vector<TtcSample> out;
+  double prev_t = -std::numeric_limits<double>::infinity();
   for (const trace::EgoSample& e : run.ego) {
+    RDSIM_REQUIRE(e.t >= prev_t, "TTC input: ego samples must be time-ordered");
+    prev_t = e.t;
     const auto key = static_cast<std::int64_t>(std::llround(e.t * 1e6));
     const auto [lo, hi] = by_time.equal_range(key);
     const double ego_speed = std::hypot(e.vx, e.vy);
@@ -38,6 +44,8 @@ std::vector<TtcSample> TtcAnalyzer::series(const trace::RunTrace& run) const {
       if (closing < config_.min_closing_speed) continue;
       const double gap = std::max(ahead - config_.length_correction_m, 0.1);
       const double ttc = gap / closing;
+      RDSIM_ENSURE(std::isfinite(ttc) && ttc > 0.0,
+                   "TTC samples must be finite and positive");
       if (!best || ahead < best->distance) {
         best = TtcSample{e.t, ttc, ahead, o.actor};
       }

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "util/vec2.hpp"
 
 namespace rdsim::net {
@@ -155,6 +156,7 @@ util::Duration NetemQdisc::sample_delay() {
     d += util::Duration::micros(jitter_us);
   }
   if (d.is_negative()) d = util::Duration{};
+  RDSIM_ENSURE(!d.is_negative(), "netem delay samples must be non-negative");
   return d;
 }
 
@@ -253,10 +255,18 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
     return;
   }
 
+  RDSIM_ENSURE(release >= now, "netem release time cannot precede enqueue time");
+
   auto schedule = [&](Packet p) {
     Scheduled s{release, seq_++, std::move(p)};
     const auto it = std::upper_bound(queue_.begin(), queue_.end(), s);
+    const auto idx = static_cast<std::size_t>(it - queue_.begin());
     queue_.insert(it, std::move(s));
+    // tfifo ordering: the inserted element must sit between its neighbours.
+    RDSIM_INVARIANT(idx == 0 || !(queue_[idx] < queue_[idx - 1]),
+                    "netem queue must stay sorted by (release, seq)");
+    RDSIM_INVARIANT(idx + 1 >= queue_.size() || !(queue_[idx + 1] < queue_[idx]),
+                    "netem queue must stay sorted by (release, seq)");
   };
 
   if (duplicate && queue_.size() + 1 < config_.limit) {
@@ -274,6 +284,8 @@ std::vector<Packet> NetemQdisc::dequeue_ready(util::TimePoint now) {
   while (n < queue_.size() && queue_[n].release <= now) ++n;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    RDSIM_INVARIANT(i == 0 || !(queue_[i].release < queue_[i - 1].release),
+                    "netem must release packets in non-decreasing time order");
     ++stats_.dequeued;
     stats_.bytes_sent += queue_[i].packet.effective_wire_size();
     out.push_back(std::move(queue_[i].packet));

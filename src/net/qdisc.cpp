@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "check/contracts.hpp"
+
 namespace rdsim::net {
 
 std::string QdiscStats::summary() const {
@@ -22,6 +24,7 @@ void FifoQdisc::enqueue(Packet packet, util::TimePoint now) {
     return;
   }
   queue_.push_back(std::move(packet));
+  RDSIM_ENSURE(queue_.size() <= limit_, "pfifo backlog must respect its limit");
 }
 
 std::vector<Packet> FifoQdisc::dequeue_ready(util::TimePoint /*now*/) {
@@ -31,6 +34,8 @@ std::vector<Packet> FifoQdisc::dequeue_ready(util::TimePoint /*now*/) {
     ++stats_.dequeued;
     stats_.bytes_sent += p.effective_wire_size();
   }
+  RDSIM_INVARIANT(stats_.dequeued + stats_.dropped_overlimit <= stats_.enqueued,
+                  "pfifo cannot emit or drop more packets than were enqueued");
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/contracts.hpp"
 #include "net/serialization.hpp"
 
 namespace rdsim::net {
@@ -201,6 +202,8 @@ void ReliableStream::on_data(Payload body, util::TimePoint now) {
       auto mit = reassembly_.find(next_deliver_message_);
       if (mit == reassembly_.end() || !mit->second.complete()) break;
       DeliveredMessage msg;
+      RDSIM_INVARIANT(mit->second.message_id == next_deliver_message_,
+                      "reliable stream must deliver message ids contiguously");
       msg.message_id = mit->second.message_id;
       msg.sent_at = util::TimePoint::from_micros(
           static_cast<std::int64_t>(mit->second.sent_us));
@@ -253,6 +256,11 @@ void ReliableStream::on_ack(Payload body, util::TimePoint now) {
   if (!r.ok()) return;
 
   if (cum_ack > last_cum_ack_) {
+    // A valid cumulative ACK can never acknowledge sequences we have not
+    // sent; a corrupt ACK that decodes plausibly would break window
+    // accounting from here on.
+    RDSIM_INVARIANT(cum_ack <= next_seq_,
+                    "cumulative ACK must not exceed the highest sent sequence");
     // New data acknowledged: clear in-flight prefix and sample RTT from any
     // segment transmitted exactly once (Karn's algorithm).
     for (auto it = in_flight_.begin(); it != in_flight_.end() && it->first < cum_ack;) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/contracts.hpp"
+
 namespace rdsim::sim {
 
 VehicleParams VehicleParams::scaled_model_vehicle() {
@@ -21,6 +23,7 @@ VehicleParams VehicleParams::scaled_model_vehicle() {
 }
 
 void Vehicle::step(double dt) {
+  RDSIM_REQUIRE(std::isfinite(dt), "vehicle step size must be finite");
   if (dt <= 0.0) return;
 
   // Actuator lags (first order).
@@ -66,6 +69,10 @@ void Vehicle::step(double dt) {
   state_.velocity = fwd * forward_speed_;
   state_.accel = fwd * actual_accel +
                  fwd.perp() * (forward_speed_ * yaw_rate);  // centripetal
+
+  RDSIM_ENSURE(std::isfinite(state_.position.x) && std::isfinite(state_.position.y) &&
+                   std::isfinite(state_.heading) && std::isfinite(forward_speed_),
+               "vehicle state must stay finite after integration");
 }
 
 }  // namespace rdsim::sim

@@ -31,7 +31,7 @@ struct EgoSample {
 
 struct OtherSample {
   sim::ActorId actor{sim::kInvalidActor};
-  std::string role;
+  std::string role{};
   double t{0.0};
   double distance{0.0};  ///< Euclidean distance from the ego, m
   double x{0.0}, y{0.0}, z{0.0};
@@ -43,24 +43,24 @@ struct CollisionRecord {
   double t{0.0};
   std::uint32_t frame{0};
   sim::ActorId other{sim::kInvalidActor};
-  std::string other_kind;
+  std::string other_kind{};
   double relative_speed{0.0};
 };
 
 struct LaneInvasionRecord {
   double t{0.0};
   std::uint32_t frame{0};
-  std::string marking;  ///< "broken" | "solid"
+  std::string marking{};  ///< "broken" | "solid"
   int from_lane{0};
   int to_lane{0};
 };
 
 struct FaultRecord {
   double t{0.0};
-  std::string fault_type;  ///< "delay" | "loss" | ...
-  double value{0.0};       ///< ms or fraction
+  std::string fault_type{};  ///< "delay" | "loss" | ...
+  double value{0.0};         ///< ms or fraction
   bool added{false};
-  std::string label;       ///< "50ms", "5%"
+  std::string label{};       ///< "50ms", "5%"
 };
 
 class RunTrace {

@@ -1,0 +1,115 @@
+// Contract layer: violation counting, policy dispatch, and the release/debug
+// default behaviour.
+#include <gtest/gtest.h>
+
+#include "check/contracts.hpp"
+
+namespace rdsim::check {
+namespace {
+
+/// Every test restores the policy and zeroes the shared registry counters so
+/// contract hits from other suites in the same binary cannot leak across.
+class ContractsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_policy_ = Registry::instance().policy();
+    Registry::instance().set_policy(Policy::kCount);
+    Registry::instance().reset_counts();
+  }
+  void TearDown() override {
+    Registry::instance().set_policy(saved_policy_);
+    Registry::instance().reset_counts();
+  }
+
+ private:
+  Policy saved_policy_{default_policy()};
+};
+
+TEST_F(ContractsTest, PassingContractsCostNothing) {
+  const std::uint64_t before = Registry::instance().total_violations();
+  RDSIM_REQUIRE(1 + 1 == 2, "arithmetic works");
+  RDSIM_ENSURE(true, "trivially true");
+  RDSIM_INVARIANT(2 > 1, "ordering works");
+  EXPECT_EQ(Registry::instance().total_violations(), before);
+}
+
+TEST_F(ContractsTest, FailingContractIncrementsItsSiteCounter) {
+  const std::uint64_t before = Registry::instance().total_violations();
+  for (int i = 0; i < 3; ++i) {
+    RDSIM_REQUIRE(i < 0, "never holds in this loop");
+  }
+  EXPECT_EQ(Registry::instance().total_violations(), before + 3);
+}
+
+TEST_F(ContractsTest, SnapshotDescribesTheFailingSite) {
+  RDSIM_INVARIANT(false, "snapshot probe");
+  bool found = false;
+  for (const ViolationRecord& record : Registry::instance().snapshot()) {
+    if (std::string_view{record.message} != "snapshot probe") continue;
+    found = true;
+    EXPECT_STREQ(record.kind, "INVARIANT");
+    EXPECT_STREQ(record.expression, "false");
+    EXPECT_NE(std::string_view{record.file}.find("test_contracts.cpp"),
+              std::string_view::npos);
+    EXPECT_GE(record.count, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ContractsTest, ResetCountsZeroesButKeepsSites) {
+  RDSIM_ENSURE(false, "reset probe");
+  ASSERT_GT(Registry::instance().total_violations(), 0u);
+  Registry::instance().reset_counts();
+  EXPECT_EQ(Registry::instance().total_violations(), 0u);
+  bool still_registered = false;
+  for (const ViolationRecord& record : Registry::instance().snapshot()) {
+    if (std::string_view{record.message} == "reset probe") {
+      still_registered = true;
+      EXPECT_EQ(record.count, 0u);
+    }
+  }
+  EXPECT_TRUE(still_registered);
+}
+
+TEST_F(ContractsTest, ThrowPolicyRaisesContractViolation) {
+  Registry::instance().set_policy(Policy::kThrow);
+  const auto failing_require = [] { RDSIM_REQUIRE(false, "throws"); };
+  EXPECT_THROW(failing_require(), ContractViolation);
+  try {
+    RDSIM_ENSURE(false, "informative message");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ENSURE failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("informative message"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ContractsTest, ThrowPolicyStillCounts) {
+  Registry::instance().set_policy(Policy::kThrow);
+  const std::uint64_t before = Registry::instance().total_violations();
+  const auto failing_invariant = [] { RDSIM_INVARIANT(false, "throw counts"); };
+  EXPECT_THROW(failing_invariant(), ContractViolation);
+  EXPECT_EQ(Registry::instance().total_violations(), before + 1);
+}
+
+TEST_F(ContractsTest, ConditionIsAlwaysEvaluated) {
+  // Contracts guard release builds too, so side effects of the condition
+  // must happen exactly once regardless of policy.
+  int evaluations = 0;
+  RDSIM_REQUIRE((++evaluations, true), "condition with a side effect");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractsDefaults, DefaultPolicyMatchesBuildMode) {
+  // Release builds (NDEBUG) count silently; debug builds log each failure.
+#ifdef NDEBUG
+  EXPECT_EQ(default_policy(), Policy::kCount);
+#else
+  EXPECT_EQ(default_policy(), Policy::kLog);
+#endif
+}
+
+}  // namespace
+}  // namespace rdsim::check

@@ -52,9 +52,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SubjectScenarioCase{9, "slalom"},
                       SubjectScenarioCase{11, "overtake"},
                       SubjectScenarioCase{12, "following"}),
-    [](const ::testing::TestParamInfo<SubjectScenarioCase>& info) {
-      return "T" + std::to_string(info.param.subject) + "_" +
-             info.param.scenario;
+    [](const ::testing::TestParamInfo<SubjectScenarioCase>& param_info) {
+      return "T" + std::to_string(param_info.param.subject) + "_" +
+             param_info.param.scenario;
     });
 
 class ExtremeDriverParams : public ::testing::TestWithParam<double> {};

@@ -8,12 +8,26 @@ namespace {
 using util::Duration;
 using util::TimePoint;
 
+// DriverModel borrows the scenario and road, so they must outlive every
+// operator built here; function-local statics stay reachable (LSan-clean).
+const sim::Scenario& shared_scenario() {
+  static const sim::Scenario scenario = [] {
+    sim::Scenario s;
+    s.instructions.push_back({0.0, 5000.0, 0, 10.0, 0.0, "cruise"});
+    return s;
+  }();
+  return scenario;
+}
+
+const sim::RoadNetwork& shared_road() {
+  static const sim::RoadNetwork road{sim::make_town05_route()};
+  return road;
+}
+
 OperatorSubsystem make_operator(StationConfig station = {}) {
-  sim::Scenario* scenario = new sim::Scenario{};  // leaked in tests: fine
-  scenario->instructions.push_back({0.0, 5000.0, 0, 10.0, 0.0, "cruise"});
-  auto* road = new sim::RoadNetwork{sim::make_town05_route()};
   return OperatorSubsystem{
-      station, DriverModel{DriverParams{}, scenario, road, util::Random{3, 3}}};
+      station, DriverModel{DriverParams{}, &shared_scenario(), &shared_road(),
+                           util::Random{3, 3}}};
 }
 
 sim::WorldFrame frame_at(std::uint32_t id, TimePoint t) {

@@ -65,7 +65,9 @@ TEST_F(DgramFixture, ReceiveLatestIgnoresReorderedOldPackets) {
   for (int ms = 0; ms < 120; ms += 5) {
     router.poll(TimePoint::from_micros(ms * 1000));
     if (const auto m = sock.receive_latest()) {
-      if (any) EXPECT_GE(m->sequence, last_seq);
+      if (any) {
+        EXPECT_GE(m->sequence, last_seq);
+      }
       last_seq = m->sequence;
       any = true;
     }

@@ -77,7 +77,9 @@ TEST(TestRouteScenario, IsWellFormed) {
   for (std::size_t i = 0; i < sc.pois.size(); ++i) {
     EXPECT_LT(sc.pois[i].from_s, sc.pois[i].to_s);
     EXPECT_LE(sc.pois[i].to_s, sc.end_s);
-    if (i > 0) EXPECT_GE(sc.pois[i].from_s, sc.pois[i - 1].to_s - 1e-9);
+    if (i > 0) {
+      EXPECT_GE(sc.pois[i].from_s, sc.pois[i - 1].to_s - 1e-9);
+    }
   }
   // Instructions cover the route without gaps up to end_s.
   for (double s = 0.0; s < sc.end_s; s += 10.0) {
