@@ -1,0 +1,118 @@
+// Campaign scaling bench: serial runner vs the thread-pool runner at
+// 1/2/4/8 workers. Verifies that every parallel configuration reproduces the
+// serial campaign_hash bit-for-bit (exits non-zero otherwise) and emits the
+// measurements as BENCH_campaign.json.
+//
+//   usage: bench_campaign_scaling [--quick] [--out FILE] [seed]
+//
+// --quick caps each run at 20 simulated seconds — same code path, miniature
+// cost — for CI artifact generation on small machines. Speedup is physically
+// bounded by the host: on a single-core container every worker count
+// measures ~1x; the ≥3x-at-8-workers target needs ≥8 hardware threads.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign_hash.hpp"
+#include "core/experiment.hpp"
+
+using namespace rdsim;
+
+namespace {
+
+double wall_seconds(const std::chrono::steady_clock::time_point t0,
+                    const std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig cfg;
+  std::string out_path = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.run_time_limit_s = 20.0;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      cfg.seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("campaign scaling: seed %llu, %s route, %u hardware thread(s)\n",
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.run_time_limit_s > 0.0 ? "capped" : "full", hw);
+
+  const core::ExperimentHarness harness{cfg};
+
+  const auto s0 = std::chrono::steady_clock::now();
+  const core::CampaignResult serial = harness.run_campaign();
+  const auto s1 = std::chrono::steady_clock::now();
+  const double serial_s = wall_seconds(s0, s1);
+  const std::uint64_t serial_hash = check::campaign_hash(serial);
+  std::printf("  serial      : %7.2f s   hash %016llx\n", serial_s,
+              static_cast<unsigned long long>(serial_hash));
+
+  struct Row {
+    std::size_t workers;
+    double wall_s;
+    double speedup;
+    std::uint64_t hash;
+    bool bit_identical;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::CampaignResult parallel = harness.run_campaign_parallel(workers);
+    const auto t1 = std::chrono::steady_clock::now();
+    Row row;
+    row.workers = workers;
+    row.wall_s = wall_seconds(t0, t1);
+    row.speedup = row.wall_s > 0.0 ? serial_s / row.wall_s : 0.0;
+    row.hash = check::campaign_hash(parallel);
+    row.bit_identical = row.hash == serial_hash;
+    all_identical = all_identical && row.bit_identical;
+    std::printf("  %2zu worker(s): %7.2f s   hash %016llx   speedup %.2fx   %s\n",
+                row.workers, row.wall_s, static_cast<unsigned long long>(row.hash),
+                row.speedup, row.bit_identical ? "bit-identical" : "HASH MISMATCH");
+    rows.push_back(row);
+  }
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "{\n"
+       << "  \"bench\": \"campaign_scaling\",\n"
+       << "  \"seed\": " << cfg.seed << ",\n"
+       << "  \"subjects\": " << serial.subjects.size() << ",\n"
+       << "  \"run_time_limit_s\": " << cfg.run_time_limit_s << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n";
+  char hash_buf[32];
+  std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                static_cast<unsigned long long>(serial_hash));
+  json << "  \"serial\": { \"wall_s\": " << serial_s << ", \"campaign_hash\": \""
+       << hash_buf << "\" },\n"
+       << "  \"parallel\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(row.hash));
+    json << "    { \"workers\": " << row.workers << ", \"wall_s\": " << row.wall_s
+         << ", \"speedup\": " << row.speedup << ", \"campaign_hash\": \"" << hash_buf
+         << "\", \"bit_identical\": " << (row.bit_identical ? "true" : "false")
+         << " }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: parallel campaign hash diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,22 +1,42 @@
-// Shared helper for the table benches: runs the 12-subject campaign once
-// per process and caches the result.
+// Shared helper for the table benches: the 12-subject campaign, computed at
+// most once for the *whole bench suite*. The first binary to need it runs
+// the campaign (on the parallel runner) and saves the serialized result to a
+// fingerprint-keyed temp artifact; every later binary deserializes that blob
+// and verifies its embedded campaign hash instead of paying the full
+// simulation cost again. Delete the artifact (or set RDSIM_CAMPAIGN_CACHE to
+// a fresh directory) to force a re-run.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 
+#include "core/campaign_hash.hpp"
+#include "core/campaign_io.hpp"
 #include "core/report.hpp"
 
 namespace bench_helper {
 
 inline const rdsim::core::CampaignResult& campaign() {
   static const rdsim::core::CampaignResult result = [] {
+    const rdsim::core::ExperimentConfig config{};
+    const std::string cache_path = rdsim::core::campaign_cache_path(config);
+    if (auto cached = rdsim::core::load_campaign(cache_path)) {
+      std::printf("[campaign: cache hit %s, hash %016llx]\n\n", cache_path.c_str(),
+                  static_cast<unsigned long long>(rdsim::check::campaign_hash(*cached)));
+      return std::move(*cached);
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    rdsim::core::ExperimentHarness harness{};
-    auto r = harness.run_campaign();
+    rdsim::core::ExperimentHarness harness{config};
+    auto r = harness.run_campaign_parallel(/*n_workers=*/0);
     const auto t1 = std::chrono::steady_clock::now();
-    std::printf("[campaign: 12 subjects x (golden + faulty) in %.1f s wall]\n\n",
-                std::chrono::duration<double>(t1 - t0).count());
+    std::printf("[campaign: 12 subjects x (golden + faulty) in %.1f s wall, hash %016llx]\n",
+                std::chrono::duration<double>(t1 - t0).count(),
+                static_cast<unsigned long long>(rdsim::check::campaign_hash(r)));
+    if (rdsim::core::save_campaign(cache_path, r)) {
+      std::printf("[campaign: cached to %s]\n\n", cache_path.c_str());
+    } else {
+      std::printf("[campaign: could not write cache %s]\n\n", cache_path.c_str());
+    }
     return r;
   }();
   return result;

@@ -2,31 +2,43 @@
 // randomized fault plans, questionnaire collection, and every paper table
 // printed at the end. Optionally dumps all raw traces as CSV.
 //
-//   usage: full_campaign [--dump-traces] [seed]
+//   usage: full_campaign [--dump-traces] [--workers N] [seed]
+//
+// --workers N runs the subjects on the thread-pool campaign runner (N=0
+// means hardware concurrency); the result — including the campaign hash
+// printed at the end — is bit-identical to the serial run.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "core/campaign_hash.hpp"
 #include "core/report.hpp"
 
 using namespace rdsim;
 
 int main(int argc, char** argv) {
   bool dump = false;
+  bool parallel = false;
+  std::size_t workers = 0;
   core::ExperimentConfig cfg;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump-traces") == 0) {
       dump = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      parallel = true;
+      workers = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       cfg.seed = std::strtoull(argv[i], nullptr, 10);
     }
   }
 
-  std::printf("running campaign (seed %llu): 12 subjects, golden + faulty runs...\n\n",
-              static_cast<unsigned long long>(cfg.seed));
+  std::printf("running campaign (seed %llu): 12 subjects, golden + faulty runs%s...\n\n",
+              static_cast<unsigned long long>(cfg.seed),
+              parallel ? " (parallel)" : "");
   core::ExperimentHarness harness{cfg};
-  const auto campaign = harness.run_campaign();
+  const auto campaign =
+      parallel ? harness.run_campaign_parallel(workers) : harness.run_campaign();
 
   std::fputs(core::report::render_table1(cfg.rds.station).c_str(), stdout);
   std::printf("\n");
@@ -52,5 +64,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote 24 x 3 trace CSV files to the working directory\n");
   }
+  std::printf("\ncampaign hash: %016llx\n",
+              static_cast<unsigned long long>(check::campaign_hash(campaign)));
   return 0;
 }

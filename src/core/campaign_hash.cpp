@@ -1,0 +1,48 @@
+#include "core/campaign_hash.hpp"
+
+#include "check/hash.hpp"
+#include "core/campaign_fields.hpp"
+
+namespace rdsim::check {
+
+namespace {
+
+/// Archive that folds the visited fields into an FNV-1a digest.
+struct HashArchive {
+  Fnv1a h;
+
+  void f64(const double& v) { h.f64(v); }
+  void u32(const std::uint32_t& v) { h.u32(v); }
+  void u64(const std::uint64_t& v) { h.u64(v); }
+  void i32(const int& v) { h.i64(v); }
+  void sz(const std::size_t& v) { h.u64(static_cast<std::uint64_t>(v)); }
+  void b(const bool& v) { h.boolean(v); }
+  void str(const std::string& s) { h.str(s); }
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn fn) {
+    h.u64(v.size());
+    for (const T& e : v) fn(*this, e);
+  }
+};
+
+}  // namespace
+
+std::uint64_t hash_run(const core::RunResult& run) {
+  HashArchive ar;
+  core::detail::run_fields(ar, run);
+  return ar.h.digest();
+}
+
+std::uint64_t hash_subject(const core::SubjectResult& subject) {
+  HashArchive ar;
+  core::detail::subject_fields(ar, subject);
+  return ar.h.digest();
+}
+
+std::uint64_t campaign_hash(const core::CampaignResult& campaign) {
+  HashArchive ar;
+  core::detail::campaign_fields(ar, campaign);
+  return ar.h.digest();
+}
+
+}  // namespace rdsim::check

@@ -1,0 +1,31 @@
+// Bit-exact fingerprints of campaign results.
+//
+// campaign_hash() folds every observable of a CampaignResult — traces, QoE,
+// stream statistics, questionnaires, profiles — into one FNV-1a digest, so
+// "the parallel runner equals the serial runner" and "this build still
+// reproduces the golden corpus" are each a one-line assertion. Doubles hash
+// by bit pattern: equal hashes mean bit-identical results.
+//
+// Declared in rdsim::check like the frame/qdisc hashes, but owned by the
+// core library because it hashes core types (the check library must stay
+// below core in the dependency order).
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+
+namespace rdsim::check {
+
+/// Fingerprint of a single run (trace + QoE + network observables).
+std::uint64_t hash_run(const core::RunResult& run);
+
+/// Fingerprint of one subject: profile, golden run, faulty run,
+/// questionnaire.
+std::uint64_t hash_subject(const core::SubjectResult& subject);
+
+/// Fingerprint of the whole campaign, including the campaign-level
+/// configuration (seed, fault weights, run-time cap).
+std::uint64_t campaign_hash(const core::CampaignResult& campaign);
+
+}  // namespace rdsim::check

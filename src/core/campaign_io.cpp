@@ -1,0 +1,193 @@
+#include "core/campaign_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "check/hash.hpp"
+#include "core/campaign_fields.hpp"
+#include "core/campaign_hash.hpp"
+#include "net/serialization.hpp"
+
+namespace rdsim::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52444331;  // "RDC1"
+constexpr std::uint32_t kVersion = 1;
+
+/// Archive writing the visited fields through a net::ByteWriter.
+struct WriteArchive {
+  net::ByteWriter& w;
+
+  void f64(const double& v) { w.f64(v); }
+  void u32(const std::uint32_t& v) { w.u32(v); }
+  void u64(const std::uint64_t& v) { w.u64(v); }
+  void i32(const int& v) { w.i32(v); }
+  void sz(const std::size_t& v) { w.u64(static_cast<std::uint64_t>(v)); }
+  void b(const bool& v) { w.u8(v ? 1 : 0); }
+  void str(const std::string& s) { w.str(s); }
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn fn) {
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& e : v) fn(*this, e);
+  }
+};
+
+/// Archive reading the visited fields back out of a net::ByteReader.
+struct ReadArchive {
+  net::ByteReader& r;
+  /// Canonical-form violations (e.g. a bool byte that is neither 0 nor 1).
+  /// The reader's own ok() only tracks truncation; a non-canonical byte
+  /// would otherwise decode to a value that re-hashes consistently, letting
+  /// a corrupt blob slip past the embedded-hash check.
+  bool canonical{true};
+
+  void f64(double& v) { v = r.f64(); }
+  void u32(std::uint32_t& v) { v = r.u32(); }
+  void u64(std::uint64_t& v) { v = r.u64(); }
+  void i32(int& v) { v = r.i32(); }
+  void sz(std::size_t& v) { v = static_cast<std::size_t>(r.u64()); }
+  void b(bool& v) {
+    const std::uint8_t raw = r.u8();
+    if (raw > 1) canonical = false;
+    v = raw != 0;
+  }
+  void str(std::string& s) { s = r.str(); }
+  template <typename T, typename Fn>
+  void vec(std::vector<T>& v, Fn fn) {
+    const std::uint32_t n = r.u32();
+    v.clear();
+    // Stop on the first truncated element instead of trusting a (possibly
+    // corrupt) length header with a huge up-front reserve.
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      T e{};
+      fn(*this, e);
+      v.push_back(std::move(e));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_campaign(const CampaignResult& campaign) {
+  net::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(check::campaign_hash(campaign));
+  WriteArchive ar{w};
+  detail::campaign_fields(ar, campaign);
+  return w.take();
+}
+
+std::optional<CampaignResult> deserialize_campaign(const std::uint8_t* data,
+                                                   std::size_t size) {
+  net::ByteReader r{data, size};
+  if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+  const std::uint64_t stored_hash = r.u64();
+  CampaignResult campaign;
+  ReadArchive ar{r};
+  detail::campaign_fields(ar, campaign);
+  if (!r.ok() || !ar.canonical || r.remaining() != 0) return std::nullopt;
+  if (check::campaign_hash(campaign) != stored_hash) return std::nullopt;
+  return campaign;
+}
+
+std::optional<CampaignResult> deserialize_campaign(const std::vector<std::uint8_t>& blob) {
+  return deserialize_campaign(blob.data(), blob.size());
+}
+
+bool save_campaign(const std::string& path, const CampaignResult& campaign) {
+  const std::vector<std::uint8_t> blob = serialize_campaign(campaign);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+  return !ec;
+}
+
+std::optional<CampaignResult> load_campaign(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>{in},
+                                 std::istreambuf_iterator<char>{}};
+  return deserialize_campaign(blob);
+}
+
+std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
+  check::Fnv1a h;
+  h.u64(config.seed);
+  h.f64(config.poi_fault_probability);
+  h.u64(config.fault_weights.size());
+  for (const double w : config.fault_weights) h.f64(w);
+  h.f64(config.run_time_limit_s);
+
+  // RDS numerics (hardware strings are documentation, not behaviour).
+  const RdsConfig& rds = config.rds;
+  h.f64(rds.station.video_fps);
+  h.f64(rds.station.display_latency_ms);
+  h.f64(rds.station.input_latency_ms);
+  h.f64(rds.station.wheel_range_deg);
+  h.f64(rds.station.command_rate_hz);
+  h.u32(rds.video.frame_wire_bytes);
+  h.u32(rds.video.command_wire_bytes);
+  h.u64(rds.video.sender_backlog_limit);
+  h.u32(rds.transport.mtu);
+  h.u32(rds.transport.header_overhead);
+  h.i64(rds.transport.rto_initial.count_micros());
+  h.i64(rds.transport.rto_min.count_micros());
+  h.i64(rds.transport.rto_max.count_micros());
+  h.u32(rds.transport.window_segments);
+  h.boolean(rds.transport.fast_retransmit);
+  h.i64(rds.transport.ack_delay.count_micros());
+  h.f64(rds.vehicle.wheelbase);
+  h.f64(rds.vehicle.max_steer_deg);
+  h.f64(rds.vehicle.max_steer_rate_deg);
+  h.f64(rds.vehicle.max_engine_accel);
+  h.f64(rds.vehicle.max_brake_decel);
+  h.f64(rds.vehicle.drag_coeff);
+  h.f64(rds.vehicle.rolling_resist);
+  h.f64(rds.vehicle.max_speed);
+  h.f64(rds.vehicle.throttle_tau);
+  h.f64(rds.vehicle.brake_tau);
+  h.f64(rds.vehicle.bbox.half_length);
+  h.f64(rds.vehicle.bbox.half_width);
+  h.f64(rds.road_scale);
+  h.str(rds.device);
+  h.f64(rds.physics_hz);
+  h.f64(rds.comms_hz);
+  h.f64(rds.log_hz);
+  h.boolean(rds.datagram_video);
+  h.boolean(rds.datagram_commands);
+
+  h.boolean(config.safety.enabled);
+  h.f64(config.safety.max_command_age_s);
+  h.f64(config.safety.brake_level);
+  h.f64(config.safety.speed_cap_mps);
+  return h.digest();
+}
+
+std::string campaign_cache_path(const ExperimentConfig& config) {
+  std::filesystem::path dir;
+  if (const char* env = std::getenv("RDSIM_CAMPAIGN_CACHE"); env != nullptr && *env != '\0') {
+    dir = env;
+  } else {
+    std::error_code ec;
+    dir = std::filesystem::temp_directory_path(ec);
+    if (ec) dir = ".";
+  }
+  char name[64];
+  std::snprintf(name, sizeof name, "rdsim_campaign_%016llx.bin",
+                static_cast<unsigned long long>(experiment_config_fingerprint(config)));
+  return (dir / name).string();
+}
+
+}  // namespace rdsim::core

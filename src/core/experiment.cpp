@@ -1,6 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/thread_pool.hpp"
 
 namespace rdsim::core {
 
@@ -27,9 +30,22 @@ std::vector<FaultAssignment> ExperimentHarness::make_fault_plan(
   return plan;
 }
 
-SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile) const {
+sim::Scenario ExperimentHarness::make_run_scenario() const {
+  sim::Scenario scenario = sim::make_test_route_scenario();
+  if (config_.run_time_limit_s > 0.0) {
+    scenario.time_limit_s = std::min(scenario.time_limit_s, config_.run_time_limit_s);
+  }
+  return scenario;
+}
+
+SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile,
+                                             check::ReplayRecorder* golden_replay,
+                                             check::ReplayRecorder* faulty_replay) const {
   SubjectResult result;
   result.profile = profile;
+  // All streams below are SplitMix-derived from (profile seed, purpose), so a
+  // subject's result depends on nothing outside its own profile — required
+  // for run_campaign_parallel to be bit-identical to the serial runner.
   util::Random rng{profile.seed, /*stream=*/0x706c616eULL};
 
   // Golden run (§V.E.2): baseline reference of the subject's behaviour.
@@ -41,8 +57,9 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile) cons
     rc.rds = config_.rds;
     rc.safety = config_.safety;
     rc.driver = profile.driver;
-    rc.seed = profile.seed ^ 0x9e3779b97f4a7c15ULL;
-    TeleopSession session{std::move(rc), sim::make_test_route_scenario()};
+    rc.seed = util::splitmix64(profile.seed ^ 0x9e3779b97f4a7c15ULL);
+    rc.replay = golden_replay;
+    TeleopSession session{std::move(rc), make_run_scenario()};
     result.golden = session.run();
   }
 
@@ -55,8 +72,9 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile) cons
     rc.rds = config_.rds;
     rc.safety = config_.safety;
     rc.driver = profile.driver;
-    rc.seed = profile.seed ^ 0xc2b2ae3d27d4eb4fULL;
-    const sim::Scenario scenario = sim::make_test_route_scenario();
+    rc.seed = util::splitmix64(profile.seed ^ 0xc2b2ae3d27d4eb4fULL);
+    rc.replay = faulty_replay;
+    const sim::Scenario scenario = make_run_scenario();
     rc.plan = make_fault_plan(scenario, rng);
     TeleopSession session{std::move(rc), scenario};
     result.faulty = session.run();
@@ -93,6 +111,20 @@ CampaignResult ExperimentHarness::run_campaign() const {
   for (const SubjectProfile& profile : make_roster(config_.seed)) {
     out.subjects.push_back(run_subject(profile));
   }
+  return out;
+}
+
+CampaignResult ExperimentHarness::run_campaign_parallel(std::size_t n_workers) const {
+  CampaignResult out;
+  out.config = config_;
+  const std::vector<SubjectProfile> roster = make_roster(config_.seed);
+  out.subjects.resize(roster.size());
+  util::ThreadPool pool{n_workers};
+  // One task per subject; each writes only its own slot, so aggregation is
+  // in subject order no matter how the pool schedules the work.
+  pool.parallel_for(roster.size(), [&](std::size_t i) {
+    out.subjects[i] = run_subject(roster[i]);
+  });
   return out;
 }
 

@@ -7,7 +7,6 @@
 namespace rdsim::core {
 
 std::vector<SubjectProfile> make_roster(std::uint64_t campaign_seed) {
-  util::Random rng{campaign_seed, /*stream=*/0x726f73746572ULL};
   std::vector<SubjectProfile> roster;
   roster.reserve(12);
 
@@ -15,8 +14,14 @@ std::vector<SubjectProfile> make_roster(std::uint64_t campaign_seed) {
     SubjectProfile s;
     s.index = i;
     s.id = "T" + std::to_string(i);
-    util::Random srng = rng.fork();
-    s.seed = (campaign_seed << 8) ^ static_cast<std::uint64_t>(i * 7919);
+    // SplitMix sub-seeding: each subject's seed is a pure function of
+    // (campaign seed, subject index), with no generator state shared between
+    // subjects. Subject i's profile and runs are therefore identical no
+    // matter which order — or on which thread — the roster is evaluated,
+    // which is what makes the parallel campaign runner bit-identical to the
+    // serial one (docs/parallel_campaign.md).
+    s.seed = util::splitmix64(campaign_seed ^ util::splitmix64(static_cast<std::uint64_t>(i)));
+    util::Random srng{s.seed, /*stream=*/0x726f73746572ULL};
 
     // Experience attributes drawn to match the §VI.F distribution:
     // 10/11 gaming (one without), 1 recent, 9/11 racing games, 6 with no

@@ -10,6 +10,19 @@
 
 namespace rdsim::util {
 
+/// SplitMix64 output mix (Steele, Lea & Flood): one application maps a
+/// counter-like input to a statistically independent 64-bit value. Used to
+/// derive per-subject / per-run sub-seeds from one campaign seed, so every
+/// RNG stream in a campaign is a pure function of (campaign seed, purpose) —
+/// no shared-generator sequencing, hence order-independent and safe to
+/// evaluate from any thread.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// PCG32: small, fast, statistically solid 32-bit generator.
 class Pcg32 {
  public:

@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "check/contracts.hpp"
+
+namespace rdsim::util {
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  if (n_workers == 0) {
+    n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged{std::move(task)};
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    RDSIM_REQUIRE(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(submit([&body, i] { body(i); }));
+  }
+  // Wait for everything first: `body` is borrowed from the caller, so no
+  // task may outlive this frame even when an early index throws.
+  for (std::future<void>& f : futures) f.wait();
+  std::exception_ptr first{};
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+}  // namespace rdsim::util

@@ -1,0 +1,56 @@
+// Fixed-size worker-thread pool for deterministic data-parallel work.
+//
+// The campaign runner fans the 12 subject simulations out over a small pool
+// and aggregates results in subject order, so parallel execution is
+// bit-identical to serial (see docs/parallel_campaign.md). The pool itself is
+// deliberately plain: a locked task queue, N worker threads, and futures for
+// exception propagation. No work stealing, no lock-free cleverness — the
+// tasks here run for seconds, so queue overhead is irrelevant, and a simple
+// pool is easy to prove correct under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdsim::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t n_workers = 0);
+
+  /// Joins all workers. Tasks already queued are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueue a task. The returned future rethrows anything the task throws.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for every i in [0, n), distributed over the workers, and
+  /// block until all complete. If any invocations throw, the exception of
+  /// the *lowest* index is rethrown (after every task has finished), so
+  /// error behaviour is deterministic regardless of scheduling.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_{false};
+};
+
+}  // namespace rdsim::util

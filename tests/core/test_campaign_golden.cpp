@@ -1,0 +1,186 @@
+// Golden-hash regression corpus for the deterministic campaign runner.
+//
+// Each entry pins the check::campaign_hash and the twelve per-subject hashes
+// of a miniature campaign (time-capped runs, full pipeline) for one seed.
+// The corpus fails on ANY behavioural drift in the simulator, network
+// emulation, driver model, fault injection or aggregation — and then tells
+// you where: first the first divergent subject, then (by re-running that
+// subject twice with replay recorders) whether the drift is nondeterminism
+// within this build, pinpointed to a tick, or an intentional behaviour
+// change that requires regenerating the table below.
+//
+// To regenerate after an intentional change: run this test; the failure
+// output prints the complete replacement table, copy-paste it over kGolden.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "check/replay.hpp"
+#include "core/campaign_hash.hpp"
+#include "core/experiment.hpp"
+
+namespace rdsim::core {
+namespace {
+
+// Miniature campaigns: cap each run at 12 simulated seconds so the three
+// corpus seeds and the worker-count sweep stay inside the unit-test budget
+// while still exercising the full golden+faulty pipeline per subject.
+constexpr double kGoldenTimeCapS = 12.0;
+
+ExperimentConfig golden_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.run_time_limit_s = kGoldenTimeCapS;
+  return cfg;
+}
+
+// Serial reference campaigns, one per seed, shared by every test in this
+// binary (the parallel sweep reuses the serial hash as its baseline).
+const CampaignResult& golden_campaign(std::uint64_t seed) {
+  static std::map<std::uint64_t, CampaignResult> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    it = cache.emplace(seed, ExperimentHarness{golden_config(seed)}.run_campaign())
+             .first;
+  }
+  return it->second;
+}
+
+struct GoldenEntry {
+  std::uint64_t seed;
+  std::uint64_t campaign;
+  std::uint64_t subjects[12];
+};
+
+// ---- golden corpus (regenerate via the failure output, see header) ----
+constexpr GoldenEntry kGolden[] = {
+    {7,
+     0xf88122499647c945ULL,
+     {0x6096682db6c44d8fULL, 0x8f39ea77c3515e1fULL, 0x0dc0d9ec70a48da4ULL,
+      0xbcde8b61f074a706ULL, 0x3e20aee3ac8ee858ULL, 0xc00a6e7623798c8eULL,
+      0xd6bdd3112ce7dfd3ULL, 0x456bd5e1acd8c440ULL, 0x8403b8ae67bfef6dULL,
+      0x134b1ba7d770b753ULL, 0x5c3fe45004fb984cULL, 0x7cbe3ebce2db107aULL}},
+    {11,
+     0xe4bb1b2b3ba5e247ULL,
+     {0x71bb6015f0c177bdULL, 0x7bee0a0823080fa4ULL, 0x7570e6ebb38ff46fULL,
+      0xdbc867a1a1229b76ULL, 0x27fa0bfd4719252dULL, 0x4932a188affdbeb8ULL,
+      0x9c8d1903320f162aULL, 0xfb47644d0b89ce69ULL, 0x11a7ad309e44d4f0ULL,
+      0x83931f3b575f3567ULL, 0x5b31602e1e046d91ULL, 0x5cc7219bd8579067ULL}},
+    {42,
+     0xc7b32e6eba1c308cULL,
+     {0x420441ed33c434eaULL, 0xe404e35ad9eebc4dULL, 0x7b48afd19a3f670fULL,
+      0x8676df00a4e5bfaeULL, 0x15c040257a193c82ULL, 0xae285f9237fc956fULL,
+      0xc98a0ebfc03f4e80ULL, 0xc972b3817d15d595ULL, 0xaf302fa4c383dbb2ULL,
+      0x6a3ff982f60cb480ULL, 0x30a9bad75a131159ULL, 0x9e1dfb20891f99d8ULL}},
+};
+
+std::string render_replacement_table() {
+  std::string out = "constexpr GoldenEntry kGolden[] = {\n";
+  char buf[64];
+  for (const GoldenEntry& entry : kGolden) {
+    const CampaignResult& campaign = golden_campaign(entry.seed);
+    std::snprintf(buf, sizeof buf, "    {%llu,\n     0x%016llxULL,\n     {",
+                  static_cast<unsigned long long>(entry.seed),
+                  static_cast<unsigned long long>(check::campaign_hash(campaign)));
+    out += buf;
+    for (std::size_t i = 0; i < campaign.subjects.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "0x%016llxULL",
+                    static_cast<unsigned long long>(
+                        check::hash_subject(campaign.subjects[i])));
+      out += buf;
+      if (i + 1 < campaign.subjects.size())
+        out += (i % 3 == 2) ? ",\n      " : ", ";
+    }
+    out += "}},\n";
+  }
+  out += "};\n";
+  return out;
+}
+
+// When a subject's hash drifted, separate "this build is nondeterministic"
+// from "behaviour changed intentionally": re-run the same subject twice with
+// replay recorders and diff the tick chains.
+std::string diagnose_subject(const ExperimentHarness& harness,
+                             const SubjectProfile& profile) {
+  check::ReplayRecorder first_golden, first_faulty;
+  check::ReplayRecorder second_golden, second_faulty;
+  const SubjectResult a = harness.run_subject(profile, &first_golden, &first_faulty);
+  const SubjectResult b = harness.run_subject(profile, &second_golden, &second_faulty);
+  if (check::hash_subject(a) != check::hash_subject(b)) {
+    const auto golden_diff = check::diff_replays(first_golden, second_golden);
+    const auto faulty_diff = check::diff_replays(first_faulty, second_faulty);
+    return "NONDETERMINISM within this build: subject " + profile.id +
+           " differs between two serial re-runs.\n  golden run: " +
+           golden_diff.summary() + "\n  faulty run: " + faulty_diff.summary();
+  }
+  return "subject " + profile.id +
+         " reproduces within this build (two re-runs identical) — the drift "
+         "vs the golden table is a behaviour change; if intentional, "
+         "regenerate the table below.";
+}
+
+TEST(CampaignGolden, HashCorpusMatchesCheckedInTable) {
+  for (const GoldenEntry& entry : kGolden) {
+    const ExperimentHarness harness{golden_config(entry.seed)};
+    const CampaignResult& campaign = golden_campaign(entry.seed);
+    ASSERT_EQ(campaign.subjects.size(), 12u);
+
+    if (check::campaign_hash(campaign) == entry.campaign) continue;
+
+    // Drifted: pinpoint the first divergent subject, then classify.
+    std::string detail = "campaign_hash drifted for seed " +
+                         std::to_string(entry.seed) + ".\n";
+    bool found = false;
+    for (std::size_t i = 0; i < campaign.subjects.size(); ++i) {
+      if (check::hash_subject(campaign.subjects[i]) != entry.subjects[i]) {
+        detail += "first divergent subject: index " + std::to_string(i) + " (" +
+                  campaign.subjects[i].profile.id + ")\n";
+        detail += diagnose_subject(harness, campaign.subjects[i].profile) + "\n";
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      detail +=
+          "all 12 subject hashes match — drift is in campaign-level fields "
+          "(config/aggregation).\n";
+    }
+    ADD_FAILURE() << detail
+                  << "\nreplacement table:\n" << render_replacement_table();
+    return;  // one table print is enough
+  }
+}
+
+TEST(CampaignGolden, ParallelMatchesSerialForEveryWorkerCount) {
+  for (const GoldenEntry& entry : kGolden) {
+    const std::uint64_t serial_hash =
+        check::campaign_hash(golden_campaign(entry.seed));
+    const ExperimentHarness harness{golden_config(entry.seed)};
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      const CampaignResult parallel = harness.run_campaign_parallel(workers);
+      ASSERT_EQ(check::campaign_hash(parallel), serial_hash)
+          << "seed " << entry.seed << " workers " << workers;
+    }
+  }
+}
+
+TEST(CampaignGolden, SubjectHashesAreOrderIndependent) {
+  // SplitMix sub-seeding makes each subject a pure function of (campaign
+  // seed, roster index): running one subject in isolation must reproduce its
+  // in-campaign result exactly.
+  const std::uint64_t seed = 42;
+  const CampaignResult& campaign = golden_campaign(seed);
+  const ExperimentHarness harness{golden_config(seed)};
+  for (const std::size_t i : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    const SubjectResult alone =
+        harness.run_subject(campaign.subjects[i].profile);
+    EXPECT_EQ(check::hash_subject(alone),
+              check::hash_subject(campaign.subjects[i]))
+        << "subject index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rdsim::core

@@ -1,0 +1,128 @@
+// Campaign serialization: round-trip fidelity (verified by campaign_hash),
+// rejection of corrupt/truncated blobs, file save/load, and fingerprint
+// sensitivity for the bench cache keys.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/campaign_hash.hpp"
+#include "core/campaign_io.hpp"
+
+namespace rdsim::core {
+namespace {
+
+// One miniature campaign shared by every test in this file (runs take ~2 s
+// in total; the cap keeps the full route out of the unit-test budget).
+const CampaignResult& mini_campaign() {
+  static const CampaignResult campaign = [] {
+    ExperimentConfig cfg;
+    cfg.seed = 42;
+    cfg.run_time_limit_s = 6.0;
+    return ExperimentHarness{cfg}.run_campaign();
+  }();
+  return campaign;
+}
+
+TEST(CampaignIo, RoundTripPreservesCampaignHash) {
+  const CampaignResult& campaign = mini_campaign();
+  const std::uint64_t expected = check::campaign_hash(campaign);
+
+  const std::vector<std::uint8_t> blob = serialize_campaign(campaign);
+  const auto loaded = deserialize_campaign(blob);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(check::campaign_hash(*loaded), expected);
+  EXPECT_EQ(loaded->subjects.size(), campaign.subjects.size());
+  EXPECT_EQ(loaded->config.seed, campaign.config.seed);
+  // Serialization itself is deterministic.
+  EXPECT_EQ(serialize_campaign(*loaded), blob);
+}
+
+TEST(CampaignIo, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> blob = serialize_campaign(mini_campaign());
+  ASSERT_GT(blob.size(), 16u);
+  // Exhaustive on the header region, sampled beyond it (blobs are ~MBs).
+  for (std::size_t cut = 0; cut < blob.size();
+       cut = cut < 64 ? cut + 1 : cut + blob.size() / 97 + 1) {
+    EXPECT_FALSE(deserialize_campaign(blob.data(), cut).has_value())
+        << "cut " << cut << " of " << blob.size();
+  }
+}
+
+TEST(CampaignIo, TrailingGarbageIsRejected) {
+  std::vector<std::uint8_t> blob = serialize_campaign(mini_campaign());
+  blob.push_back(0x00);
+  EXPECT_FALSE(deserialize_campaign(blob).has_value());
+}
+
+TEST(CampaignIo, BitFlipsFailTheEmbeddedHashCheck) {
+  const std::vector<std::uint8_t> blob = serialize_campaign(mini_campaign());
+  // Flip one byte at several positions across the payload; either a field
+  // fails to parse or the recomputed hash mismatches the embedded one.
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{5}, blob.size() / 3, blob.size() / 2,
+        blob.size() - 1}) {
+    std::vector<std::uint8_t> corrupt = blob;
+    corrupt[pos] ^= 0x40;
+    EXPECT_FALSE(deserialize_campaign(corrupt).has_value()) << "pos " << pos;
+  }
+}
+
+TEST(CampaignIo, SaveAndLoadRoundTripsThroughAFile) {
+  const CampaignResult& campaign = mini_campaign();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdsim_test_campaign_io.bin")
+          .string();
+  ASSERT_TRUE(save_campaign(path, campaign));
+  const auto loaded = load_campaign(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(check::campaign_hash(*loaded), check::campaign_hash(campaign));
+  std::remove(path.c_str());
+}
+
+TEST(CampaignIo, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(load_campaign("/nonexistent/rdsim_no_such_file.bin").has_value());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdsim_test_campaign_bad.bin")
+          .string();
+  {
+    std::ofstream f{path, std::ios::binary | std::ios::trunc};
+    f << "not a campaign blob";
+  }
+  EXPECT_FALSE(load_campaign(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignFingerprint, DistinguishesEveryCampaignShapingField) {
+  const ExperimentConfig base;
+  const std::uint64_t fp = experiment_config_fingerprint(base);
+  EXPECT_EQ(fp, experiment_config_fingerprint(base));  // stable
+
+  ExperimentConfig seed = base;
+  seed.seed = 8;
+  ExperimentConfig poi = base;
+  poi.poi_fault_probability = 0.5;
+  ExperimentConfig weights = base;
+  weights.fault_weights[0] += 1.0;
+  ExperimentConfig cap = base;
+  cap.run_time_limit_s = 20.0;
+  ExperimentConfig rds = base;
+  rds.rds.station.video_fps = 29.0;
+  ExperimentConfig safety = base;
+  safety.safety.enabled = !safety.safety.enabled;
+  for (const auto* changed : {&seed, &poi, &weights, &cap, &rds, &safety}) {
+    EXPECT_NE(experiment_config_fingerprint(*changed), fp);
+  }
+}
+
+TEST(CampaignFingerprint, CachePathIsKeyedByFingerprint) {
+  const ExperimentConfig base;
+  ExperimentConfig other = base;
+  other.seed = 1234;
+  EXPECT_NE(campaign_cache_path(base), campaign_cache_path(other));
+  EXPECT_EQ(campaign_cache_path(base), campaign_cache_path(base));
+}
+
+}  // namespace
+}  // namespace rdsim::core

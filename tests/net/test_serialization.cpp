@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "core/protocol.hpp"
 #include "net/serialization.hpp"
+#include "util/rng.hpp"
 
 namespace rdsim::net {
 namespace {
@@ -59,6 +63,152 @@ TEST(ByteReader, EmptyStringAndBytes) {
   EXPECT_EQ(r.str(), "");
   EXPECT_TRUE(r.bytes().empty());
   EXPECT_TRUE(r.ok());
+}
+
+// ----- randomized round-trip (fuzz-style, seeded => reproducible) -----
+
+// One randomly typed field. The same schedule drives the writer, the reader
+// and the re-writer, so serialize -> deserialize -> re-serialize must be
+// bit-identical.
+struct FuzzField {
+  int tag{0};  // 0=u8 1=u16 2=u32 3=u64 4=i32 5=i64 6=f64 7=str 8=bytes
+  std::uint64_t integer{0};
+  double real{0.0};
+  std::string text;
+  std::vector<std::uint8_t> blob;
+};
+
+std::vector<FuzzField> make_fuzz_fields(util::Random& rng) {
+  const int n = rng.uniform_int(1, 12);
+  std::vector<FuzzField> fields;
+  for (int i = 0; i < n; ++i) {
+    FuzzField f;
+    f.tag = rng.uniform_int(0, 8);
+    f.integer = (static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)) << 32) ^
+                static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    // Cover negatives, zeros, subnormal-ish and large magnitudes.
+    switch (rng.uniform_int(0, 3)) {
+      case 0: f.real = rng.normal(0.0, 1e-30); break;
+      case 1: f.real = rng.normal(0.0, 1e30); break;
+      case 2: f.real = 0.0; break;
+      default: f.real = rng.uniform(-1e6, 1e6); break;
+    }
+    const int len = rng.uniform_int(0, 40);
+    for (int c = 0; c < len; ++c) {
+      f.text.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      f.blob.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    fields.push_back(std::move(f));
+  }
+  return fields;
+}
+
+void write_fields(ByteWriter& w, const std::vector<FuzzField>& fields) {
+  for (const FuzzField& f : fields) {
+    switch (f.tag) {
+      case 0: w.u8(static_cast<std::uint8_t>(f.integer)); break;
+      case 1: w.u16(static_cast<std::uint16_t>(f.integer)); break;
+      case 2: w.u32(static_cast<std::uint32_t>(f.integer)); break;
+      case 3: w.u64(f.integer); break;
+      case 4: w.i32(static_cast<std::int32_t>(f.integer)); break;
+      case 5: w.i64(static_cast<std::int64_t>(f.integer)); break;
+      case 6: w.f64(f.real); break;
+      case 7: w.str(f.text); break;
+      default: w.bytes(f.blob); break;
+    }
+  }
+}
+
+TEST(SerializationFuzz, RandomFieldSequencesReserializeBitIdentically) {
+  util::Random rng{20230612, 0xf022ULL};
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::vector<FuzzField> fields = make_fuzz_fields(rng);
+    ByteWriter w;
+    write_fields(w, fields);
+    const std::vector<std::uint8_t> blob = w.data();
+
+    // Deserialize with the same schedule, then re-serialize.
+    ByteReader r{blob};
+    ByteWriter w2;
+    for (const FuzzField& f : fields) {
+      switch (f.tag) {
+        case 0: w2.u8(r.u8()); break;
+        case 1: w2.u16(r.u16()); break;
+        case 2: w2.u32(r.u32()); break;
+        case 3: w2.u64(r.u64()); break;
+        case 4: w2.i32(r.i32()); break;
+        case 5: w2.i64(r.i64()); break;
+        case 6: w2.f64(r.f64()); break;
+        case 7: w2.str(r.str()); break;
+        default: w2.bytes(r.bytes()); break;
+      }
+    }
+    ASSERT_TRUE(r.ok()) << "iteration " << iter;
+    ASSERT_EQ(r.remaining(), 0u) << "iteration " << iter;
+    ASSERT_EQ(blob, w2.data()) << "iteration " << iter;
+  }
+}
+
+TEST(SerializationFuzz, TruncatedBuffersAreRejectedWithoutUb) {
+  util::Random rng{99, 0xf022ULL};
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::vector<FuzzField> fields = make_fuzz_fields(rng);
+    ByteWriter w;
+    write_fields(w, fields);
+    const std::vector<std::uint8_t>& blob = w.data();
+    if (blob.empty()) continue;
+
+    // Read the full schedule from a random strict prefix: the reader must
+    // flag the truncation (not necessarily at the first field) and keep
+    // returning zero values, never touching memory past the prefix.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(blob.size()) - 1));
+    ByteReader r{blob.data(), cut};
+    for (const FuzzField& f : fields) {
+      switch (f.tag) {
+        case 0: r.u8(); break;
+        case 1: r.u16(); break;
+        case 2: r.u32(); break;
+        case 3: r.u64(); break;
+        case 4: r.i32(); break;
+        case 5: r.i64(); break;
+        case 6: r.f64(); break;
+        case 7: r.str(); break;
+        default: r.bytes(); break;
+      }
+    }
+    ASSERT_FALSE(r.ok()) << "iteration " << iter << " cut " << cut;
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_TRUE(r.str().empty());
+  }
+}
+
+TEST(SerializationFuzz, CommandMsgRoundTripsBitIdentically) {
+  util::Random rng{4242, 0xf022ULL};
+  for (int iter = 0; iter < 1000; ++iter) {
+    core::CommandMsg m;
+    m.sequence = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+    m.control.throttle = rng.uniform(0.0, 1.0);
+    m.control.steer = rng.uniform(-1.0, 1.0);
+    m.control.brake = rng.uniform(0.0, 1.0);
+    m.control.reverse = rng.bernoulli(0.5);
+    m.control.hand_brake = rng.bernoulli(0.1);
+    m.sent_at_us = static_cast<std::int64_t>(rng.uniform_int(0, 1 << 30)) * 1000;
+    m.based_on_frame = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+
+    const Payload wire = m.encode();
+    const auto decoded = core::CommandMsg::decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << iter;
+    ASSERT_EQ(decoded->encode(), wire) << "iteration " << iter;
+
+    // Every strict prefix must be rejected cleanly.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(wire.size()) - 1));
+    EXPECT_FALSE(core::CommandMsg::decode(
+                     Payload{wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut)})
+                     .has_value())
+        << "iteration " << iter << " cut " << cut;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <set>
 
 #include "util/rng.hpp"
@@ -157,6 +158,39 @@ TEST(Random, WeightedIndexDegenerate) {
   Random rng{29};
   EXPECT_EQ(rng.weighted_index({}), 0u);
   EXPECT_EQ(rng.weighted_index({0.0, 0.0}), 0u);
+}
+
+TEST(Splitmix64, MatchesReferenceVectors) {
+  // Reference outputs of Vigna's splitmix64 for state 0, 1, 2, ... — the
+  // same constants every public implementation uses.
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(splitmix64(2), 0x975835de1c9756ceULL);
+  EXPECT_EQ(splitmix64(0x123456789abcdefULL), splitmix64(0x123456789abcdefULL));
+}
+
+TEST(Splitmix64, AvalanchesOnSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits; this is
+  // what makes neighbouring subject indices produce unrelated sub-seeds.
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = splitmix64(0xdeadbeefULL);
+    const std::uint64_t b = splitmix64(0xdeadbeefULL ^ (1ULL << bit));
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 10) << "bit " << bit;
+    EXPECT_LT(flipped, 54) << "bit " << bit;
+  }
+}
+
+TEST(Splitmix64, SubjectSubSeedsAreDistinct) {
+  // The roster derives seed_i = splitmix64(campaign ^ splitmix64(i)); no two
+  // subjects across several campaigns may collide.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t campaign : {7ULL, 11ULL, 42ULL, 0ULL}) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      seen.insert(splitmix64(campaign ^ splitmix64(i)));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u);
 }
 
 TEST(Random, ShufflePermutes) {
