@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_campaign.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      cfg.run_time_limit_s = 20.0;
+      cfg.run_time_limit = units::Seconds{20.0};
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("campaign scaling: seed %llu, %s route, %u hardware thread(s)\n",
               static_cast<unsigned long long>(cfg.seed),
-              cfg.run_time_limit_s > 0.0 ? "capped" : "full", hw);
+              cfg.run_time_limit > units::Seconds{0.0} ? "capped" : "full", hw);
 
   const core::ExperimentHarness harness{cfg};
 
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
        << "  \"bench\": \"campaign_scaling\",\n"
        << "  \"seed\": " << cfg.seed << ",\n"
        << "  \"subjects\": " << serial.subjects.size() << ",\n"
-       << "  \"run_time_limit_s\": " << cfg.run_time_limit_s << ",\n"
+       << "  \"run_time_limit\": " << cfg.run_time_limit.value() << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n";
   char hash_buf[32];
   std::snprintf(hash_buf, sizeof hash_buf, "%016llx",

@@ -56,20 +56,20 @@ int main() {
   emit_series("NFI", golden.trace);
   emit_series("FI", faulty.trace);
 
-  const auto t_golden = metrics::traversal_time(golden.trace, 600.0, 840.0);
-  const auto t_faulty = metrics::traversal_time(faulty.trace, 600.0, 840.0);
+  const auto t_golden = metrics::traversal_time(golden.trace, units::Meters{600.0}, units::Meters{840.0});
+  const auto t_faulty = metrics::traversal_time(faulty.trace, units::Meters{600.0}, units::Meters{840.0});
   metrics::SrrAnalyzer srr;
 
   std::printf("\nFig. 4 summary (three-vehicle slalom, route 600-840 m):\n");
-  if (t_golden) std::printf("  golden-run traversal: %5.1f s\n", *t_golden);
-  if (t_faulty) std::printf("  faulty-run traversal: %5.1f s\n", *t_faulty);
+  if (t_golden) std::printf("  golden-run traversal: %5.1f s\n", t_golden->value());
+  if (t_faulty) std::printf("  faulty-run traversal: %5.1f s\n", t_faulty->value());
   if (t_golden && t_faulty) {
     std::printf("  ratio: %.2fx  (paper: ~19 s vs ~33 s = 1.74x)\n",
                 *t_faulty / *t_golden);
   }
   std::printf("  slalom SRR golden %.1f vs faulty %.1f rev/min\n",
-              srr.analyze_window(golden.trace, 55.0, 95.0).rate_per_min,
-              srr.analyze_window(faulty.trace, 55.0, 95.0).rate_per_min);
+              srr.analyze_window(golden.trace, units::Seconds{55.0}, units::Seconds{95.0}).rate_per_min,
+              srr.analyze_window(faulty.trace, units::Seconds{55.0}, units::Seconds{95.0}).rate_per_min);
   std::printf("  collisions golden %zu, faulty %zu\n",
               golden.trace.collisions.size(), faulty.trace.collisions.size());
   return 0;

@@ -34,10 +34,10 @@ void compare_metrics(const core::SubjectResult& subject, const sim::RoadNetwork&
       srr.analyze(faulty).rate_per_min);
   const auto tg = ttc.summarize(ttc.series(golden));
   const auto tf = ttc.summarize(ttc.series(faulty));
-  row("TTC min [s]", tg.valid() ? tg.min : 0.0, tf.valid() ? tf.min : 0.0);
-  row("TTC avg [s]", tg.valid() ? tg.avg : 0.0, tf.valid() ? tf.avg : 0.0);
-  row("SDLP [m]", metrics::lane_position_deviation(golden, road).sdlp_m,
-      metrics::lane_position_deviation(faulty, road).sdlp_m);
+  row("TTC min [s]", tg.valid() ? tg.min.value() : 0.0, tf.valid() ? tf.min.value() : 0.0);
+  row("TTC avg [s]", tg.valid() ? tg.avg.value() : 0.0, tf.valid() ? tf.avg.value() : 0.0);
+  row("SDLP [m]", metrics::lane_position_deviation(golden, road).sdlp.value(),
+      metrics::lane_position_deviation(faulty, road).sdlp.value());
   row("steering entropy [bit]", metrics::steering_entropy(golden, alpha).entropy,
       metrics::steering_entropy(faulty, alpha).entropy);
   const auto brg = metrics::brake_reactions(golden);
@@ -45,7 +45,7 @@ void compare_metrics(const core::SubjectResult& subject, const sim::RoadNetwork&
   auto mean_reaction = [](const std::vector<metrics::BrakeReaction>& v) {
     if (v.empty()) return 0.0;
     double sum = 0.0;
-    for (const auto& r : v) sum += r.reaction_s;
+    for (const auto& r : v) sum += r.reaction.value();
     return sum / static_cast<double>(v.size());
   };
   row("brake reaction [s]", mean_reaction(brg), mean_reaction(brf));

@@ -15,7 +15,7 @@ void BM_NetemEnqueueDequeue(benchmark::State& state) {
   net::NetemConfig cfg;
   cfg.delay = util::Duration::millis(5);
   cfg.jitter = util::Duration::millis(1);
-  cfg.loss_probability = 0.02;
+  cfg.loss_probability = units::Probability{0.02};
   net::NetemQdisc q{cfg, 1};
   std::uint64_t id = 0;
   std::int64_t t = 0;
@@ -67,7 +67,7 @@ void BM_WorldPhysicsStep(benchmark::State& state) {
   c.throttle = 0.4;
   world.apply_ego_control(c);
   for (auto _ : state) {
-    world.step(0.01);
+    world.step(units::Seconds{0.01});
     runtime.step();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -90,7 +90,7 @@ BENCHMARK(BM_RoadProjection);
 void BM_FrameEncodeDecode(benchmark::State& state) {
   sim::World world{sim::make_town05_route()};
   sim::ScenarioRuntime runtime{sim::make_test_route_scenario(), world};
-  world.step(0.01);
+  world.step(units::Seconds{0.01});
   const auto frame = world.snapshot();
   for (auto _ : state) {
     const auto bytes = frame.encode();

@@ -24,8 +24,8 @@ core::RunResult run_route(const core::SubjectProfile& profile, net::FaultSpec fa
   rc.safety.enabled = monitor;
   // Tighter than the 350 ms default: the uplink stalls of a 5 % loss fault
   // are ~200-450 ms, so the watchdog must trip inside them to matter.
-  rc.safety.max_command_age_s = 0.25;
-  rc.safety.speed_cap_mps = 3.0;
+  rc.safety.max_command_age = units::Seconds{0.25};
+  rc.safety.speed_cap = units::MetersPerSecond{3.0};
   const auto scenario = sim::make_test_route_scenario();
   for (const auto& poi : scenario.pois) rc.plan.push_back({poi.name, fault});
   core::TeleopSession session{std::move(rc), scenario};
@@ -47,9 +47,9 @@ void report_case(const char* fault_name, net::FaultSpec fault) {
     const auto tg = ttc.summarize(ttc.series(guarded.trace));
     std::printf("%-4s %-6zu %-7.2f %-7.0f %-6zu %-7.2f %-7.0f %llu\n",
                 profile.id.c_str(), bare.trace.collisions.size(),
-                tb.valid() ? tb.min : -1.0, bare.duration_s,
-                guarded.trace.collisions.size(), tg.valid() ? tg.min : -1.0,
-                guarded.duration_s,
+                tb.valid() ? tb.min.value() : -1.0, bare.duration.value(),
+                guarded.trace.collisions.size(), tg.valid() ? tg.min.value() : -1.0,
+                guarded.duration.value(),
                 static_cast<unsigned long long>(guarded.safety_activations));
   }
   std::printf("\n");

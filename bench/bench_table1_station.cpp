@@ -8,8 +8,8 @@ int main() {
   const rdsim::core::StationConfig station{};
   std::fputs(rdsim::core::report::render_table1(station).c_str(), stdout);
   std::printf("\nDerived model parameters:\n");
-  std::printf("  display latency  %.0f ms\n", station.display_latency_ms);
-  std::printf("  input latency    %.0f ms\n", station.input_latency_ms);
+  std::printf("  display latency  %.0f ms\n", station.display_latency.value());
+  std::printf("  input latency    %.0f ms\n", station.input_latency.value());
   std::printf("  wheel range      %.0f deg lock-to-lock\n", station.wheel_range_deg);
   const rdsim::core::VideoConfig video{};
   std::printf("  video frame      %.1f MB on the wire (raw sensor stream)\n",

@@ -34,7 +34,7 @@ void run_case(const char* transport, bool datagram, net::FaultSpec fault) {
               fault.kind == net::FaultKind::kNone ? "none" : fault.label().c_str(),
               static_cast<unsigned long long>(r.frames_displayed),
               static_cast<unsigned long long>(r.frames_encoded),
-              100.0 * r.qoe.frozen_fraction(), r.qoe.longest_freeze_s * 1e3,
+              100.0 * r.qoe.frozen_fraction(), r.qoe.longest_freeze.value() * 1e3,
               srr.analyze(r.trace).rate_per_min, r.qoe.score(),
               r.trace.collisions.size());
 }

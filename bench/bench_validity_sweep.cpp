@@ -52,7 +52,7 @@ void sweep(const char* title, const core::RdsConfig& rds, double scenario_scale,
     rc.rds = rds;
     rc.driver = core::DriverParams{};
     // The operator's internal plant model matches what they drive.
-    rc.driver.vehicle_wheelbase_m = rds.vehicle.wheelbase;
+    rc.driver.vehicle_wheelbase_m = rds.vehicle.wheelbase.value();
     rc.driver.vehicle_max_steer_deg = rds.vehicle.max_steer_deg;
     // Metric gains scale with the world: errors shrink with the geometry,
     // so per-metre gains must grow to keep the same authority.
@@ -67,16 +67,16 @@ void sweep(const char* title, const core::RdsConfig& rds, double scenario_scale,
     // Scale the course for the slower model vehicle.
     sim::Scenario scenario = sim::make_following_scenario();
     if (scenario_scale != 1.0) {
-      scenario.end_s *= scenario_scale;
-      scenario.time_limit_s = 300.0;
+      scenario.end *= scenario_scale;
+      scenario.time_limit = units::Seconds{300.0};
       for (auto& instr : scenario.instructions) {
-        instr.from_s *= scenario_scale;
-        instr.to_s *= scenario_scale;
+        instr.from *= scenario_scale;
+        instr.to *= scenario_scale;
         instr.target_speed *= speed_scale;
       }
       for (auto& poi : scenario.pois) {
-        poi.from_s *= scenario_scale;
-        poi.to_s *= scenario_scale;
+        poi.from *= scenario_scale;
+        poi.to *= scenario_scale;
       }
       scenario.ego_initial_speed *= speed_scale;
       scenario.populate = {};  // drive the scaled course alone
@@ -99,10 +99,10 @@ void sweep(const char* title, const core::RdsConfig& rds, double scenario_scale,
     const auto srr_r = srr.analyze(result.trace);
     const auto ttc_r = ttc.summarize(ttc.series(result.trace));
     const double fps =
-        result.duration_s > 0.0
-            ? static_cast<double>(result.frames_displayed) / result.duration_s
+        result.duration.value() > 0.0
+            ? static_cast<double>(result.frames_displayed) / result.duration.value()
             : 0.0;
-    const double stale_ms = result.qoe.mean_staleness_s() * 1e3;
+    const double stale_ms = result.qoe.mean_staleness().value() * 1e3;
 
     const char* label = point.fault.kind == net::FaultKind::kNone
                             ? "none"
@@ -116,7 +116,7 @@ void sweep(const char* title, const core::RdsConfig& rds, double scenario_scale,
     }
     std::printf("%-12s %-9s %-8.1f %-9.0f %-8.1f %-8.2f %-6zu %s\n", label,
                 result.completed ? "yes" : "NO", fps, stale_ms,
-                srr_r.rate_per_min, ttc_r.valid() ? ttc_r.min : -1.0,
+                srr_r.rate_per_min, ttc_r.valid() ? ttc_r.min.value() : -1.0,
                 result.trace.collisions.size(), point.note);
   }
   std::printf("\n");

@@ -54,8 +54,9 @@ int main(int argc, char** argv) {
   if (ts.valid()) {
     std::printf("TTC:     min %.2f avg %.2f max %.2f s | %zu samples, %zu < 6 s "
                 "(TET %.1f s)\n",
-                ts.min, ts.avg, ts.max, ts.samples, ts.violations,
-                metrics::time_exposed_ttc(series, 6.0, 0.05));
+                ts.min.value(), ts.avg.value(), ts.max.value(), ts.samples, ts.violations,
+                metrics::time_exposed_ttc(series, units::Seconds{6.0}, units::Seconds{0.05})
+                    .value());
   } else {
     std::printf("TTC:     no lead-following samples\n");
   }
@@ -79,13 +80,13 @@ int main(int argc, char** argv) {
   const auto headway = metrics::headway_distribution(run);
   if (headway.valid()) {
     std::printf("headway: median %.2f s | below 2 s %.0f%% | below 1 s %.0f%%\n",
-                headway.median_s, 100.0 * headway.below_2s, 100.0 * headway.below_1s);
+                headway.median.value(), 100.0 * headway.below_2s, 100.0 * headway.below_1s);
   }
 
   const auto reactions = metrics::brake_reactions(run);
   if (!reactions.empty()) {
     double sum = 0.0;
-    for (const auto& r : reactions) sum += r.reaction_s;
+    for (const auto& r : reactions) sum += r.reaction.value();
     std::printf("brake reaction: %zu episodes, mean %.2f s\n", reactions.size(),
                 sum / static_cast<double>(reactions.size()));
   }

@@ -58,7 +58,7 @@ void run_with_rule(const std::string& rule) {
               delivered, latency_ms.mean(), latency_ms.min(), latency_ms.max());
   std::printf("  retransmits: %llu rto + %llu fast | srtt %.1f ms | acks %llu\n\n",
               static_cast<unsigned long long>(s.retransmits_rto),
-              static_cast<unsigned long long>(s.retransmits_fast), s.srtt_ms,
+              static_cast<unsigned long long>(s.retransmits_fast), s.srtt.value(),
               static_cast<unsigned long long>(s.acks_sent));
 }
 

@@ -34,13 +34,13 @@ void summarize(const char* name, const core::RunResult& result) {
   const auto ttc_stats = ttc.summarize(series);
   const auto srr_stats = srr.analyze(result.trace);
 
-  std::printf("%-10s duration %6.1f s  completed %s\n", name, result.duration_s,
+  std::printf("%-10s duration %6.1f s  completed %s\n", name, result.duration.value(),
               result.completed ? "yes" : "NO");
   std::printf("  video: %llu frames encoded, %llu displayed, %llu rto-retx, srtt %.1f ms\n",
               (unsigned long long)result.frames_encoded,
               (unsigned long long)result.frames_displayed,
               (unsigned long long)result.video_stats.retransmits_rto,
-              result.video_stats.srtt_ms);
+              result.video_stats.srtt.value());
   if (ttc_stats.valid()) {
     std::printf("  TTC  : min %.2f  avg %.2f  max %.2f  (violations<6s: %zu of %zu)\n",
                 ttc_stats.min, ttc_stats.avg, ttc_stats.max, ttc_stats.violations,
@@ -49,7 +49,7 @@ void summarize(const char* name, const core::RunResult& result) {
     std::printf("  TTC  : no samples\n");
   }
   std::printf("  SRR  : %.1f reversals/min (%zu reversals over %.0f s)\n",
-              srr_stats.rate_per_min, srr_stats.reversals, srr_stats.duration_s);
+              srr_stats.rate_per_min, srr_stats.reversals, srr_stats.duration.value());
   std::printf("  QoE  : %.1f / 5 (frozen %.1f%% of the time)\n", result.qoe.score(),
               100.0 * result.qoe.frozen_fraction());
   std::printf("  collisions: %zu, lane invasions: %zu\n", result.trace.collisions.size(),

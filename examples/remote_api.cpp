@@ -26,7 +26,7 @@ int main() {
     const TimePoint end = now + d;
     while (now < end) {
       now += Duration::millis(1);
-      world.step(0.001);
+      world.step(units::Seconds{0.001});
       router.poll(now);
       server.step(now);
       client.step(now);

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   const auto driving = metrics::analyze_driving(result.trace);
 
   std::printf("run:        %s in %.1f s (%s)\n", result.completed ? "completed" : "DNF",
-              result.duration_s, result.trace.run_id.c_str());
+              result.duration.value(), result.trace.run_id.c_str());
   if (ttc_stats.valid()) {
     std::printf("TTC:        min %.2f avg %.2f max %.2f s (%zu samples, %zu below 6 s)\n",
                 ttc_stats.min, ttc_stats.avg, ttc_stats.max, ttc_stats.samples,

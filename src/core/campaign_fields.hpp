@@ -68,11 +68,11 @@ void profile_fields(Ar& ar, T& p) {
 
 template <typename Ar, typename T>  // T: [const] QoeStats
 void qoe_fields(Ar& ar, T& q) {
-  ar.f64(q.watch_time_s);
-  ar.f64(q.frozen_time_s);
+  ar.qty(q.watch_time);
+  ar.qty(q.frozen_time);
   ar.sz(q.freeze_episodes);
-  ar.f64(q.longest_freeze_s);
-  ar.f64(q.staleness_sum_s);
+  ar.qty(q.longest_freeze);
+  ar.qty(q.staleness_sum);
   ar.sz(q.staleness_samples);
 }
 
@@ -86,8 +86,8 @@ void stream_stats_fields(Ar& ar, T& s) {
   ar.u64(s.acks_sent);
   ar.u64(s.dup_acks_seen);
   ar.u64(s.stale_segments);
-  ar.f64(s.srtt_ms);
-  ar.f64(s.rto_ms);
+  ar.qty(s.srtt);
+  ar.qty(s.rto);
 }
 
 template <typename Ar, typename T>  // T: [const] trace::EgoSample
@@ -161,11 +161,11 @@ void run_fields(Ar& ar, T& r) {
   qoe_fields(ar, r.qoe);
   ar.b(r.completed);
   ar.b(r.timed_out);
-  ar.f64(r.duration_s);
+  ar.qty(r.duration);
   stream_stats_fields(ar, r.video_stats);
   stream_stats_fields(ar, r.command_stats);
-  ar.f64(r.mean_downlink_latency_ms);
-  ar.f64(r.mean_uplink_latency_ms);
+  ar.qty(r.mean_downlink_latency);
+  ar.qty(r.mean_uplink_latency);
   ar.u64(r.frames_encoded);
   ar.u64(r.frames_displayed);
   ar.u64(r.frames_skipped_sender);
@@ -201,7 +201,7 @@ void experiment_config_fields(Ar& ar, T& c) {
   ar.u64(c.seed);
   ar.f64(c.poi_fault_probability);
   ar.vec(c.fault_weights, [](Ar& a, auto& w) { a.f64(w); });
-  ar.f64(c.run_time_limit_s);
+  ar.qty(c.run_time_limit);
 }
 
 template <typename Ar, typename T>  // T: [const] CampaignResult

@@ -12,6 +12,10 @@ struct HashArchive {
   Fnv1a h;
 
   void f64(const double& v) { h.f64(v); }
+  template <typename Q>
+  void qty(const Q& v) {
+    h.f64(v.value());  // typed quantities hash as their raw double
+  }
   void u32(const std::uint32_t& v) { h.u32(v); }
   void u64(const std::uint64_t& v) { h.u64(v); }
   void i32(const int& v) { h.i64(v); }

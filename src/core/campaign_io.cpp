@@ -9,6 +9,7 @@
 #include "core/campaign_fields.hpp"
 #include "core/campaign_hash.hpp"
 #include "net/serialization.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::core {
 
@@ -22,6 +23,10 @@ struct WriteArchive {
   net::ByteWriter& w;
 
   void f64(const double& v) { w.f64(v); }
+  template <typename Q>
+  void qty(const Q& v) {
+    w.f64(v.value());  // typed quantities serialize as their raw double
+  }
   void u32(const std::uint32_t& v) { w.u32(v); }
   void u64(const std::uint64_t& v) { w.u64(v); }
   void i32(const int& v) { w.i32(v); }
@@ -45,6 +50,10 @@ struct ReadArchive {
   bool canonical{true};
 
   void f64(double& v) { v = r.f64(); }
+  template <typename Q>
+  void qty(Q& v) {
+    v = units::from_raw<Q>(r.f64());
+  }
   void u32(std::uint32_t& v) { v = r.u32(); }
   void u64(std::uint64_t& v) { v = r.u64(); }
   void i32(int& v) { v = r.i32(); }
@@ -128,13 +137,13 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
   h.f64(config.poi_fault_probability);
   h.u64(config.fault_weights.size());
   for (const double w : config.fault_weights) h.f64(w);
-  h.f64(config.run_time_limit_s);
+  h.f64(config.run_time_limit.value());
 
   // RDS numerics (hardware strings are documentation, not behaviour).
   const RdsConfig& rds = config.rds;
   h.f64(rds.station.video_fps);
-  h.f64(rds.station.display_latency_ms);
-  h.f64(rds.station.input_latency_ms);
+  h.f64(rds.station.display_latency.value());
+  h.f64(rds.station.input_latency.value());
   h.f64(rds.station.wheel_range_deg);
   h.f64(rds.station.command_rate_hz);
   h.u32(rds.video.frame_wire_bytes);
@@ -148,16 +157,16 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
   h.u32(rds.transport.window_segments);
   h.boolean(rds.transport.fast_retransmit);
   h.i64(rds.transport.ack_delay.count_micros());
-  h.f64(rds.vehicle.wheelbase);
+  h.f64(rds.vehicle.wheelbase.value());
   h.f64(rds.vehicle.max_steer_deg);
   h.f64(rds.vehicle.max_steer_rate_deg);
-  h.f64(rds.vehicle.max_engine_accel);
-  h.f64(rds.vehicle.max_brake_decel);
+  h.f64(rds.vehicle.max_engine_accel.value());
+  h.f64(rds.vehicle.max_brake_decel.value());
   h.f64(rds.vehicle.drag_coeff);
-  h.f64(rds.vehicle.rolling_resist);
-  h.f64(rds.vehicle.max_speed);
-  h.f64(rds.vehicle.throttle_tau);
-  h.f64(rds.vehicle.brake_tau);
+  h.f64(rds.vehicle.rolling_resist.value());
+  h.f64(rds.vehicle.max_speed.value());
+  h.f64(rds.vehicle.throttle_tau.value());
+  h.f64(rds.vehicle.brake_tau.value());
   h.f64(rds.vehicle.bbox.half_length);
   h.f64(rds.vehicle.bbox.half_width);
   h.f64(rds.road_scale);
@@ -169,9 +178,9 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
   h.boolean(rds.datagram_commands);
 
   h.boolean(config.safety.enabled);
-  h.f64(config.safety.max_command_age_s);
+  h.f64(config.safety.max_command_age.value());
   h.f64(config.safety.brake_level);
-  h.f64(config.safety.speed_cap_mps);
+  h.f64(config.safety.speed_cap.value());
   return h.digest();
 }
 

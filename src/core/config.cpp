@@ -5,7 +5,7 @@ namespace rdsim::core {
 RdsConfig RdsConfig::scaled_model_vehicle() {
   RdsConfig cfg;
   cfg.station.video_fps = 30.0;
-  cfg.station.display_latency_ms = 8.0;
+  cfg.station.display_latency = units::Millis{8.0};
   cfg.station.command_rate_hz = 50.0;
   // Smartphone-class camera link (§II.A, Liu et al.): smaller frames, still
   // split into a couple of radio-sized packets.

@@ -11,6 +11,7 @@
 
 #include "net/reliable_stream.hpp"
 #include "sim/vehicle.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::core {
 
@@ -24,11 +25,11 @@ struct StationConfig {
   std::string operating_system{"Ubuntu 18.04"};
   std::string nvidia_driver{"470.103.01"};
 
-  double video_fps{27.0};            ///< §V.A: 25-30 fps
-  double display_latency_ms{12.0};   ///< scan-out + panel latency
-  double input_latency_ms{8.0};      ///< USB polling + driver
-  double wheel_range_deg{900.0};     ///< G27 lock-to-lock
-  double command_rate_hz{30.0};      ///< CARLA client control loop
+  double video_fps{27.0};                  ///< §V.A: 25-30 fps
+  units::Millis display_latency{12.0};     ///< scan-out + panel latency
+  units::Millis input_latency{8.0};        ///< USB polling + driver
+  double wheel_range_deg{900.0};           ///< G27 lock-to-lock
+  double command_rate_hz{30.0};            ///< CARLA client control loop
 };
 
 /// Video encoding model: frames are semantic snapshots but their declared

@@ -25,7 +25,7 @@ std::vector<SubjectFeatures> extract_features(const CampaignResult& campaign) {
     f.srr_increase = srr_f.rate_per_min - srr_g.rate_per_min;
     f.faulty_collisions = static_cast<double>(s->faulty.trace.collisions.size());
     const auto ttc_f = ttc.summarize(ttc.series(s->faulty.trace));
-    f.min_ttc_faulty = ttc_f.valid() ? ttc_f.min : 0.0;
+    f.min_ttc_faulty = ttc_f.valid() ? ttc_f.min.value() : 0.0;
     f.qoe = s->faulty.qoe.score();
     out.push_back(std::move(f));
   }

@@ -85,7 +85,7 @@ DriverModel::Decision DriverModel::decide(util::TimePoint now) {
 
   auto proj = road_->project(ego.position, track_hint_s_);
   track_hint_s_ = proj.s;
-  const sim::DriveInstruction instr = scenario_->instruction_at(proj.s);
+  const sim::DriveInstruction instr = scenario_->instruction_at(units::Meters{proj.s});
 
   // Perceptual position error: slow wander whose magnitude grows with the
   // display's staleness and with poor visibility.
@@ -138,7 +138,7 @@ DriverModel::Decision DriverModel::decide(util::TimePoint now) {
     }
   }
   double target_lateral = road_->lane_center_offset(instr.target_lane) +
-                          instr.lateral_bias + cyclist_bias + unstick_bias_;
+                          instr.lateral_bias.value() + cyclist_bias + unstick_bias_;
 
   // Merge safety (the mirror check): never converge onto a line that is
   // currently occupied alongside or just ahead — hold the present lane until
@@ -242,7 +242,7 @@ DriverModel::Decision DriverModel::decide(util::TimePoint now) {
     lead.reset();
   }
 
-  double target_speed = instr.target_speed * params_.speed_compliance;
+  double target_speed = instr.target_speed.value() * params_.speed_compliance;
   if (unstick_bias_ != 0.0) target_speed = std::min(target_speed, 2.0);
   if (frame.weather.night) target_speed *= 0.92;
 

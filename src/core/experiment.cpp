@@ -32,8 +32,8 @@ std::vector<FaultAssignment> ExperimentHarness::make_fault_plan(
 
 sim::Scenario ExperimentHarness::make_run_scenario() const {
   sim::Scenario scenario = sim::make_test_route_scenario();
-  if (config_.run_time_limit_s > 0.0) {
-    scenario.time_limit_s = std::min(scenario.time_limit_s, config_.run_time_limit_s);
+  if (config_.run_time_limit > units::Seconds{}) {
+    scenario.time_limit = std::min(scenario.time_limit, config_.run_time_limit);
   }
   return scenario;
 }

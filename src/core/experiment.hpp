@@ -27,10 +27,10 @@ struct ExperimentConfig {
   /// Relative weights of the five faults, in paper_fault_model() order
   /// (defaults approximate the Table II totals 20/30/24/31/29).
   std::vector<double> fault_weights{20, 30, 24, 31, 29};
-  /// When positive, caps each run's simulated duration (seconds) below the
-  /// scenario's own time limit. The default 0 runs the full route; tests use
-  /// small caps to exercise the whole pipeline on miniature campaigns.
-  double run_time_limit_s{0.0};
+  /// When positive, caps each run's simulated duration below the scenario's
+  /// own time limit. The default 0 runs the full route; tests use small caps
+  /// to exercise the whole pipeline on miniature campaigns.
+  units::Seconds run_time_limit{};
 };
 
 struct SubjectResult {

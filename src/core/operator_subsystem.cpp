@@ -10,10 +10,10 @@ double QoeStats::score() const {
   // (reported mean 2.81, range 2..4 for the faulty runs). The mapping is
   // monotone: more frozen time and more lag mean a worse experience.
   const double freeze_penalty = 22.0 * frozen_fraction();
-  const double lag_penalty = 8.0 * std::max(0.0, mean_staleness_s() - 0.05);
+  const double lag_penalty = 8.0 * std::max(0.0, mean_staleness().value() - 0.05);
   const double episodes_penalty =
       0.22 * static_cast<double>(std::min<std::size_t>(freeze_episodes, 20));
-  const double worst_penalty = 1.0 * std::min(longest_freeze_s, 2.5);
+  const double worst_penalty = 1.0 * std::min(longest_freeze.value(), 2.5);
   const double raw =
       5.0 - freeze_penalty - lag_penalty - episodes_penalty - worst_penalty;
   return std::clamp(raw, 1.0, 5.0);
@@ -34,27 +34,27 @@ void OperatorSubsystem::on_frame(const sim::WorldFrame& frame, util::TimePoint n
 
   DisplayedView view;
   view.frame = frame;
-  view.displayed_at = now + util::Duration::seconds(station_.display_latency_ms / 1e3);
+  view.displayed_at = now + station_.display_latency.to_duration();
   driver_.observe(view);
 }
 
 std::optional<CommandMsg> OperatorSubsystem::poll(util::TimePoint now) {
   // ---- QoE accounting ----
   if (!first_poll_) {
-    const double dt = (now - last_poll_).to_seconds();
-    if (any_frame_ && dt > 0.0) {
-      qoe_.watch_time_s += dt;
-      const double staleness = (now - last_display_update_).to_seconds();
+    const units::Seconds dt{(now - last_poll_).to_seconds()};
+    if (any_frame_ && dt > units::Seconds{}) {
+      qoe_.watch_time += dt;
+      const units::Seconds staleness{(now - last_display_update_).to_seconds()};
       const double frame_period = 1.0 / station_.video_fps;
-      if (staleness > 1.6 * frame_period) {
-        qoe_.frozen_time_s += dt;
-        current_freeze_s_ += dt;
+      if (staleness.value() > 1.6 * frame_period) {
+        qoe_.frozen_time += dt;
+        current_freeze_ += dt;
       } else {
-        if (current_freeze_s_ > 0.3) ++qoe_.freeze_episodes;
-        qoe_.longest_freeze_s = std::max(qoe_.longest_freeze_s, current_freeze_s_);
-        current_freeze_s_ = 0.0;
+        if (current_freeze_ > units::Seconds{0.3}) ++qoe_.freeze_episodes;
+        qoe_.longest_freeze = std::max(qoe_.longest_freeze, current_freeze_);
+        current_freeze_ = units::Seconds{};
       }
-      qoe_.staleness_sum_s += staleness;
+      qoe_.staleness_sum += staleness;
       ++qoe_.staleness_samples;
     }
   }

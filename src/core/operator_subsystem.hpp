@@ -12,20 +12,21 @@ namespace rdsim::core {
 
 /// QoE bookkeeping over a run: how often and how long the display froze.
 struct QoeStats {
-  double watch_time_s{0.0};
-  double frozen_time_s{0.0};          ///< staleness beyond one frame period
+  units::Seconds watch_time{};
+  units::Seconds frozen_time{};       ///< staleness beyond one frame period
   std::size_t freeze_episodes{0};     ///< freezes longer than 300 ms
-  double longest_freeze_s{0.0};
-  double staleness_sum_s{0.0};
+  units::Seconds longest_freeze{};
+  units::Seconds staleness_sum{};
   std::size_t staleness_samples{0};
 
   double frozen_fraction() const {
-    return watch_time_s > 0.0 ? frozen_time_s / watch_time_s : 0.0;
+    return watch_time.value() > 0.0 ? frozen_time.value() / watch_time.value() : 0.0;
   }
-  double mean_staleness_s() const {
+  units::Seconds mean_staleness() const {
     return staleness_samples > 0
-               ? staleness_sum_s / static_cast<double>(staleness_samples)
-               : 0.0;
+               ? units::Seconds{staleness_sum.value() /
+                                static_cast<double>(staleness_samples)}
+               : units::Seconds{};
   }
 
   /// 1..5 subjective score: 5 = indistinguishable from local driving.
@@ -64,7 +65,7 @@ class OperatorSubsystem {
   std::uint32_t next_seq_{1};
   util::TimePoint last_poll_{};
   bool first_poll_{true};
-  double current_freeze_s_{0.0};
+  units::Seconds current_freeze_{};
 
   QoeStats qoe_;
 };

@@ -9,11 +9,11 @@ namespace {
 
 /// Merged [start, stop) windows in the faulty run during which the fault
 /// with `label` was active.
-std::vector<std::pair<double, double>> label_windows(const trace::RunTrace& run,
-                                                     const std::string& label) {
-  std::vector<std::pair<double, double>> out;
+std::vector<std::pair<units::Seconds, units::Seconds>> label_windows(
+    const trace::RunTrace& run, const std::string& label) {
+  std::vector<std::pair<units::Seconds, units::Seconds>> out;
   for (const auto& w : run.fault_windows()) {
-    if (w.label == label) out.emplace_back(w.start, w.stop);
+    if (w.label == label) out.emplace_back(units::Seconds{w.start}, units::Seconds{w.stop});
   }
   return out;
 }
@@ -121,15 +121,15 @@ std::vector<TtcRow> ttc_rows(const CampaignResult& campaign,
         if (!st.valid()) continue;
         // Merge via the series directly for exact stats.
         for (const auto& sample : faulty_series) {
-          if (sample.t >= start && sample.t < stop) acc.add(sample.ttc);
+          if (sample.t >= start && sample.t < stop) acc.add(sample.ttc.value());
         }
         violations += st.violations;
       }
       if (!acc.empty()) {
         merged.samples = acc.count();
-        merged.min = acc.min();
-        merged.avg = acc.mean();
-        merged.max = acc.max();
+        merged.min = units::Seconds{acc.min()};
+        merged.avg = units::Seconds{acc.mean()};
+        merged.max = units::Seconds{acc.max()};
         merged.violations = violations;
         row.cells[label] = merged;
       } else {
@@ -163,8 +163,9 @@ std::string render_table3(const CampaignResult& campaign, bool mask_like_paper,
           os << pad("-", 8);
           return;
         }
-        const double v = section == 0 ? st->max : (section == 1 ? st->avg : st->min);
-        os << pad(fmt(v), 8);
+        const units::Seconds v =
+            section == 0 ? st->max : (section == 1 ? st->avg : st->min);
+        os << pad(fmt(v.value()), 8);
       };
       cell(row.nfi);
       for (const auto& l : labels) cell(row.cells.at(l));
@@ -183,22 +184,22 @@ std::vector<SrrRow> srr_rows(const CampaignResult& campaign,
     row.subject = s->profile.id;
 
     const auto g = analyzer.analyze(s->golden.trace);
-    if (g.valid() && g.duration_s >= config.min_duration_s) row.nfi = g.rate_per_min;
+    if (g.valid() && g.duration >= config.min_duration) row.nfi = g.rate_per_min;
     const auto f = analyzer.analyze(s->faulty.trace);
-    if (f.valid() && f.duration_s >= config.min_duration_s) row.fi = f.rate_per_min;
+    if (f.valid() && f.duration >= config.min_duration) row.fi = f.rate_per_min;
 
     double sum = 0.0;
     int n = 0;
     for (const std::string& label : fault_labels()) {
       std::size_t reversals = 0;
-      double duration = 0.0;
+      units::Seconds duration{};
       for (const auto& [start, stop] : label_windows(s->faulty.trace, label)) {
         const auto r = analyzer.analyze_window(s->faulty.trace, start, stop);
         reversals += r.reversals;
-        duration += r.duration_s;
+        duration += r.duration;
       }
-      if (duration >= config.min_duration_s) {
-        const double rate = static_cast<double>(reversals) / (duration / 60.0);
+      if (duration >= config.min_duration) {
+        const double rate = static_cast<double>(reversals) / (duration.value() / 60.0);
         row.cells[label] = rate;
         sum += rate;
         ++n;

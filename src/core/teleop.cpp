@@ -11,7 +11,7 @@ DriverParams with_station_latencies(DriverParams d, const StationConfig& station
   // Input-device latency adds dead time between the driver's hand and the
   // client sampling it; fold it into the perception-action dead time (the
   // display latency is modelled explicitly in OperatorSubsystem::on_frame).
-  d.reaction_time_s += station.input_latency_ms / 1e3;
+  d.reaction_time_s += station.input_latency.to_seconds().value();
   return d;
 }
 
@@ -54,14 +54,14 @@ TeleopSession::TeleopSession(RunConfig config, sim::Scenario scenario)
 }
 
 void TeleopSession::update_fault_plan() {
-  const double s = vehicle_.runtime().ego_s();
+  const units::Meters s = vehicle_.runtime().ego_position();
   const sim::Scenario& scenario = vehicle_.runtime().scenario();
 
   // Find the planned assignment whose POI contains the ego position.
   std::optional<std::size_t> due;
   for (std::size_t i = 0; i < config_.plan.size(); ++i) {
     for (const sim::PoiWindow& poi : scenario.pois) {
-      if (poi.name == config_.plan[i].poi && s >= poi.from_s && s < poi.to_s) {
+      if (poi.name == config_.plan[i].poi && s >= poi.from && s < poi.to) {
         due = i;
         break;
       }
@@ -135,7 +135,7 @@ bool TeleopSession::step() {
 
   // Physics sub-steps due at this tick.
   while (next_physics_ <= now) {
-    vehicle_.step_physics(physics_dt_.to_seconds());
+    vehicle_.step_physics(units::Seconds::from_duration(physics_dt_));
     recorder_.step(vehicle_.world());
     if (config_.replay != nullptr) {
       check::Fnv1a net;
@@ -173,14 +173,14 @@ RunResult TeleopSession::run() {
   RunResult result;
   result.completed = vehicle_.runtime().complete();
   result.timed_out = vehicle_.runtime().timed_out();
-  result.duration_s = clock_.now().to_seconds();
+  result.duration = units::Seconds{clock_.now().to_seconds()};
   result.qoe = operator_->qoe();
   if (video_stream_) result.video_stats = video_stream_->stats();
   if (command_stream_) result.command_stats = command_stream_->stats();
-  result.mean_downlink_latency_ms =
-      channel_.stats(net::LinkDirection::kDownlink).mean_latency_ms();
-  result.mean_uplink_latency_ms =
-      channel_.stats(net::LinkDirection::kUplink).mean_latency_ms();
+  result.mean_downlink_latency =
+      channel_.stats(net::LinkDirection::kDownlink).mean_latency();
+  result.mean_uplink_latency =
+      channel_.stats(net::LinkDirection::kUplink).mean_latency();
   result.frames_encoded = vehicle_.frames_encoded();
   result.frames_displayed = operator_->frames_displayed();
   result.frames_skipped_sender = frames_skipped_sender_;

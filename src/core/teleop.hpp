@@ -52,13 +52,13 @@ struct RunResult {
   QoeStats qoe{};
   bool completed{false};
   bool timed_out{false};
-  double duration_s{0.0};
+  units::Seconds duration{};
 
   // Network-side observables.
   net::StreamStats video_stats{};
   net::StreamStats command_stats{};
-  double mean_downlink_latency_ms{0.0};
-  double mean_uplink_latency_ms{0.0};
+  units::Millis mean_downlink_latency{};
+  units::Millis mean_uplink_latency{};
   std::uint64_t frames_encoded{0};
   std::uint64_t frames_displayed{0};
   std::uint64_t frames_skipped_sender{0};

@@ -21,7 +21,7 @@ TrainingResult run_training(const SubjectProfile& profile, const TrainingConfig&
     rc.rds = config.rds;
     rc.seed = profile.seed ^ 0x747261696eULL;
     sim::Scenario scenario = sim::make_training_scenario();
-    scenario.time_limit_s = minutes * 60.0;
+    scenario.time_limit = units::Seconds{minutes * 60.0};
     TeleopSession session{std::move(rc), scenario};
     result.run = session.run();
   }
@@ -45,9 +45,12 @@ TrainingResult run_training(const SubjectProfile& profile, const TrainingConfig&
   metrics::SrrAnalyzer srr;
   const double dur = result.run.trace.duration_s();
   if (dur > 30.0) {
-    result.early_srr = srr.analyze_window(result.run.trace, 0.0, dur / 3.0).rate_per_min;
-    result.late_srr =
-        srr.analyze_window(result.run.trace, 2.0 * dur / 3.0, dur).rate_per_min;
+    result.early_srr = srr.analyze_window(result.run.trace, units::Seconds{0.0},
+                                          units::Seconds{dur / 3.0})
+                           .rate_per_min;
+    result.late_srr = srr.analyze_window(result.run.trace, units::Seconds{2.0 * dur / 3.0},
+                                         units::Seconds{dur})
+                          .rate_per_min;
   }
   return result;
 }

@@ -10,7 +10,7 @@ VehicleSubsystem::VehicleSubsystem(const RdsConfig& config, sim::Scenario scenar
       runtime_{std::move(scenario), world_},
       rng_{seed, /*stream=*/0x76656869636c65ULL} {}
 
-void VehicleSubsystem::step_physics(double dt) {
+void VehicleSubsystem::step_physics(units::Seconds dt) {
   world_.step(dt);
   runtime_.step();
   if (safety_.enabled) apply_safety(world_.now());
@@ -53,21 +53,22 @@ void VehicleSubsystem::on_command(const CommandMsg& msg, util::TimePoint now) {
   (void)now;
 }
 
-double VehicleSubsystem::command_age_s(util::TimePoint now) const {
-  if (!any_command_) return std::numeric_limits<double>::infinity();
-  return (now - util::TimePoint::from_micros(last_command_sent_us_)).to_seconds();
+units::Seconds VehicleSubsystem::command_age(util::TimePoint now) const {
+  if (!any_command_) return units::Seconds{std::numeric_limits<double>::infinity()};
+  return units::Seconds{
+      (now - util::TimePoint::from_micros(last_command_sent_us_)).to_seconds()};
 }
 
 void VehicleSubsystem::apply_safety(util::TimePoint now) {
-  const double age = command_age_s(now);
-  const double speed = world_.ego().vehicle().forward_speed();
-  const bool should_engage =
-      std::isfinite(age) && age > safety_.max_command_age_s && speed > safety_.speed_cap_mps;
+  const units::Seconds age = command_age(now);
+  const units::MetersPerSecond speed{world_.ego().vehicle().forward_speed()};
+  const bool should_engage = std::isfinite(age.value()) &&
+                             age > safety_.max_command_age && speed > safety_.speed_cap;
   if (should_engage && !safety_engaged_) {
     safety_engaged_ = true;
     ++safety_activations_;
-  } else if (safety_engaged_ && std::isfinite(age) && age < safety_.max_command_age_s / 2.0 &&
-             speed <= safety_.speed_cap_mps) {
+  } else if (safety_engaged_ && std::isfinite(age.value()) &&
+             age < safety_.max_command_age / 2.0 && speed <= safety_.speed_cap) {
     safety_engaged_ = false;
   }
   if (safety_engaged_) {

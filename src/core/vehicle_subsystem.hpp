@@ -20,9 +20,9 @@ namespace rdsim::core {
 /// it ramps in autonomous braking until contact with the operator resumes.
 struct SafetyMonitorConfig {
   bool enabled{false};
-  double max_command_age_s{0.35};
+  units::Seconds max_command_age{0.35};
   double brake_level{0.6};
-  double speed_cap_mps{4.0};  ///< degraded-mode crawl speed
+  units::MetersPerSecond speed_cap{4.0};  ///< degraded-mode crawl speed
 };
 
 class VehicleSubsystem {
@@ -36,7 +36,7 @@ class VehicleSubsystem {
   const sim::ScenarioRuntime& runtime() const { return runtime_; }
 
   /// Advance physics by dt. The currently latched command keeps acting.
-  void step_physics(double dt);
+  void step_physics(units::Seconds dt);
 
   /// If a video frame is due at `now`, encode it. Frame cadence follows the
   /// configured fps with the 25-30 fps jitter the paper reports.
@@ -49,9 +49,9 @@ class VehicleSubsystem {
   /// Apply a received command (latest-wins by sequence number).
   void on_command(const CommandMsg& msg, util::TimePoint now);
 
-  /// Seconds since the newest applied command was *sent* by the operator —
+  /// Time since the newest applied command was *sent* by the operator —
   /// the vehicle's QoS view of the uplink (§III.A).
-  double command_age_s(util::TimePoint now) const;
+  units::Seconds command_age(util::TimePoint now) const;
 
   std::uint64_t frames_encoded() const { return frames_encoded_; }
   std::uint64_t commands_applied() const { return commands_applied_; }

@@ -12,13 +12,13 @@
 namespace rdsim::metrics {
 
 SdlpResult lane_position_deviation(const trace::RunTrace& run,
-                                   const sim::RoadNetwork& road, double start,
-                                   double stop) {
+                                   const sim::RoadNetwork& road, units::Seconds start,
+                                   units::Seconds stop) {
   util::RunningStats offsets;
   util::RunningStats abs_offsets;
   double hint = 0.0;
   for (const trace::EgoSample& e : run.ego) {
-    if (e.t < start || e.t >= stop) continue;
+    if (e.t < start.value() || e.t >= stop.value()) continue;
     const auto proj = road.project({e.x, e.y}, hint);
     hint = proj.s;
     offsets.add(proj.lane_offset);
@@ -27,8 +27,8 @@ SdlpResult lane_position_deviation(const trace::RunTrace& run,
   SdlpResult out;
   out.samples = offsets.count();
   if (out.samples > 1) {
-    out.sdlp_m = offsets.stddev();
-    out.mean_abs_offset_m = abs_offsets.mean();
+    out.sdlp = units::Meters{offsets.stddev()};
+    out.mean_abs_offset = units::Meters{abs_offsets.mean()};
   }
   return out;
 }
@@ -36,11 +36,11 @@ SdlpResult lane_position_deviation(const trace::RunTrace& run,
 namespace {
 
 /// Second-order Taylor prediction errors of the steering signal.
-std::vector<double> prediction_errors(const trace::RunTrace& run, double start,
-                                      double stop) {
+std::vector<double> prediction_errors(const trace::RunTrace& run, units::Seconds start,
+                                      units::Seconds stop) {
   std::vector<double> steer;
   for (const trace::EgoSample& e : run.ego) {
-    if (e.t >= start && e.t < stop) steer.push_back(e.steer);
+    if (e.t >= start.value() && e.t < stop.value()) steer.push_back(e.steer);
   }
   std::vector<double> errors;
   if (steer.size() < 10) return errors;
@@ -56,7 +56,8 @@ std::vector<double> prediction_errors(const trace::RunTrace& run, double start,
 
 }  // namespace
 
-double steering_entropy_alpha(const trace::RunTrace& run, double start, double stop) {
+double steering_entropy_alpha(const trace::RunTrace& run, units::Seconds start,
+                              units::Seconds stop) {
   const auto errors = prediction_errors(run, start, stop);
   std::vector<double> abs_errors;
   abs_errors.reserve(errors.size());
@@ -65,8 +66,8 @@ double steering_entropy_alpha(const trace::RunTrace& run, double start, double s
 }
 
 SteeringEntropyResult steering_entropy(const trace::RunTrace& run,
-                                       double baseline_alpha, double start,
-                                       double stop) {
+                                       double baseline_alpha, units::Seconds start,
+                                       units::Seconds stop) {
   SteeringEntropyResult out;
   const auto errors = prediction_errors(run, start, stop);
   out.samples = errors.size();
@@ -103,7 +104,7 @@ SteeringEntropyResult steering_entropy(const trace::RunTrace& run,
 
 std::vector<BrakeReaction> brake_reactions(const trace::RunTrace& run,
                                            double onset_decel, double pedal_threshold,
-                                           double max_window_s) {
+                                           units::Seconds max_window) {
   // Detect lead braking onsets from the nearest other vehicle's speed series
   // (role "lead*" preferred), then look for the ego's pedal response.
   std::map<sim::ActorId, std::vector<const trace::OtherSample*>> by_actor;
@@ -127,20 +128,21 @@ std::vector<BrakeReaction> brake_reactions(const trace::RunTrace& run,
       if (samples[i]->distance > 60.0) continue;  // too far to matter
       const double onset_t = samples[i]->t;
       // Skip onsets that belong to the same braking episode.
-      if (!out.empty() && onset_t - out.back().lead_onset_t < 3.0) continue;
+      if (!out.empty() && onset_t - out.back().lead_onset.value() < 3.0) continue;
       // Find the ego's brake response.
       for (const trace::EgoSample& e : run.ego) {
         if (e.t < onset_t) continue;
-        if (e.t > onset_t + max_window_s) break;
+        if (e.t > onset_t + max_window.value()) break;
         if (e.brake >= pedal_threshold) {
-          out.push_back({onset_t, e.t, e.t - onset_t});
+          out.push_back({units::Seconds{onset_t}, units::Seconds{e.t},
+                         units::Seconds{e.t - onset_t}});
           break;
         }
       }
     }
   }
   std::sort(out.begin(), out.end(), [](const BrakeReaction& a, const BrakeReaction& b) {
-    return a.lead_onset_t < b.lead_onset_t;
+    return a.lead_onset < b.lead_onset;
   });
   return out;
 }
@@ -175,9 +177,9 @@ HeadwayDistribution headway_distribution(const trace::RunTrace& run,
       const double dy = o.y - e.y;
       const double ahead = dx * hx + dy * hy;
       const double lateral = -dx * hy + dy * hx;
-      if (ahead <= 0.0 || ahead > config.max_distance_m) continue;
-      if (std::fabs(lateral) > config.max_lateral_m) continue;
-      const double gap = std::max(ahead - config.length_correction_m, 0.1);
+      if (ahead <= 0.0 || ahead > config.max_distance.value()) continue;
+      if (std::fabs(lateral) > config.max_lateral.value()) continue;
+      const double gap = std::max(ahead - config.length_correction.value(), 0.1);
       if (!nearest || gap < *nearest) nearest = gap;
     }
     if (nearest) {
@@ -191,7 +193,7 @@ HeadwayDistribution headway_distribution(const trace::RunTrace& run,
   if (headways.empty()) return out;
   out.below_1s = static_cast<double>(below1) / static_cast<double>(headways.size());
   out.below_2s = static_cast<double>(below2) / static_cast<double>(headways.size());
-  out.median_s = util::percentile(headways, 50.0).value_or(0.0);
+  out.median = units::Seconds{util::percentile(headways, 50.0).value_or(0.0)};
   return out;
 }
 

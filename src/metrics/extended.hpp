@@ -23,13 +23,14 @@ namespace rdsim::metrics {
 /// (instructed lane changes would otherwise dominate the figure).
 struct SdlpResult {
   std::size_t samples{0};
-  double sdlp_m{0.0};
-  double mean_abs_offset_m{0.0};
+  units::Meters sdlp{};
+  units::Meters mean_abs_offset{};
   bool valid() const { return samples >= 10; }
 };
 SdlpResult lane_position_deviation(const trace::RunTrace& run,
                                    const sim::RoadNetwork& road,
-                                   double start = -1e300, double stop = 1e300);
+                                   units::Seconds start = units::Seconds{-1e300},
+                                   units::Seconds stop = units::Seconds{1e300});
 
 /// Steering entropy (Nakayama/Boer): how poorly a second-order predictor
 /// anticipates the next steering sample, binned into a 9-bin histogram
@@ -45,32 +46,34 @@ struct SteeringEntropyResult {
 };
 SteeringEntropyResult steering_entropy(const trace::RunTrace& run,
                                        double baseline_alpha = 0.0,
-                                       double start = -1e300, double stop = 1e300);
+                                       units::Seconds start = units::Seconds{-1e300},
+                                       units::Seconds stop = units::Seconds{1e300});
 
 /// The 90th-percentile prediction error of a run — the alpha to feed into
 /// steering_entropy() for its disturbed counterparts.
 double steering_entropy_alpha(const trace::RunTrace& run,
-                              double start = -1e300, double stop = 1e300);
+                              units::Seconds start = units::Seconds{-1e300},
+                              units::Seconds stop = units::Seconds{1e300});
 
 /// Brake-reaction events: for every episode where a followed lead starts
 /// braking hard (decel beyond `onset_decel`), the time until the ego's brake
 /// pedal exceeds `pedal_threshold`.
 struct BrakeReaction {
-  double lead_onset_t{0.0};
-  double ego_response_t{0.0};
-  double reaction_s{0.0};
+  units::Seconds lead_onset{};
+  units::Seconds ego_response{};
+  units::Seconds reaction{};
 };
 std::vector<BrakeReaction> brake_reactions(const trace::RunTrace& run,
                                            double onset_decel = 2.0,
                                            double pedal_threshold = 0.15,
-                                           double max_window_s = 4.0);
+                                           units::Seconds max_window = units::Seconds{4.0});
 
 /// Time-headway histogram against the followed lead.
 struct HeadwayDistribution {
   std::size_t samples{0};
   double below_1s{0.0};   ///< fractions
   double below_2s{0.0};
-  double median_s{0.0};
+  units::Seconds median{};
   bool valid() const { return samples >= 10; }
 };
 HeadwayDistribution headway_distribution(const trace::RunTrace& run,

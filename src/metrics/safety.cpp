@@ -56,9 +56,9 @@ HeadwayStats analyze_headway(const trace::RunTrace& run, const TtcConfig& config
       const double dy = o.y - e.y;
       const double ahead = dx * hx + dy * hy;
       const double lateral = -dx * hy + dy * hx;
-      if (ahead <= 0.0 || ahead > config.max_distance_m) continue;
-      if (std::fabs(lateral) > config.max_lateral_m) continue;
-      const double gap = std::max(ahead - config.length_correction_m, 0.1);
+      if (ahead <= 0.0 || ahead > config.max_distance.value()) continue;
+      if (std::fabs(lateral) > config.max_lateral.value()) continue;
+      const double gap = std::max(ahead - config.length_correction.value(), 0.1);
       if (!nearest_gap || gap < *nearest_gap) nearest_gap = gap;
     }
     if (nearest_gap) {
@@ -70,28 +70,30 @@ HeadwayStats analyze_headway(const trace::RunTrace& run, const TtcConfig& config
   HeadwayStats out;
   out.samples = stats.count();
   if (!stats.empty()) {
-    out.min = stats.min();
-    out.avg = stats.mean();
+    out.min = units::Seconds{stats.min()};
+    out.avg = units::Seconds{stats.mean()};
     out.below_2s_fraction = static_cast<double>(below) / static_cast<double>(out.samples);
   }
   return out;
 }
 
-double time_exposed_ttc(const std::vector<TtcSample>& series, double threshold_s,
-                        double sample_interval_s) {
-  double tet = 0.0;
+units::Seconds time_exposed_ttc(const std::vector<TtcSample>& series,
+                                units::Seconds threshold,
+                                units::Seconds sample_interval) {
+  units::Seconds tet{};
   for (const TtcSample& s : series) {
-    if (s.ttc > 0.0 && s.ttc < threshold_s) tet += sample_interval_s;
+    if (s.ttc > units::Seconds{} && s.ttc < threshold) tet += sample_interval;
   }
   return tet;
 }
 
-DrivingStats analyze_driving(const trace::RunTrace& run, double start, double stop) {
+DrivingStats analyze_driving(const trace::RunTrace& run, units::Seconds start,
+                             units::Seconds stop) {
   DrivingStats out;
   bool braking = false;
   const trace::EgoSample* prev = nullptr;
   for (const trace::EgoSample& e : run.ego) {
-    if (e.t < start || e.t >= stop) continue;
+    if (e.t < start.value() || e.t >= stop.value()) continue;
     const double speed = std::hypot(e.vx, e.vy);
     out.speed.add(speed);
     if (prev != nullptr && speed > 0.1) {
@@ -107,15 +109,16 @@ DrivingStats analyze_driving(const trace::RunTrace& run, double start, double st
     prev = &e;
   }
   for (const trace::LaneInvasionRecord& l : run.lane_invasions) {
-    if (l.t < start || l.t >= stop) continue;
+    if (l.t < start.value() || l.t >= stop.value()) continue;
     ++out.lane_invasions;
     if (l.marking == "solid") ++out.solid_line_invasions;
   }
   return out;
 }
 
-std::optional<double> traversal_time(const trace::RunTrace& run, double dist_from,
-                                     double dist_to) {
+std::optional<units::Seconds> traversal_time(const trace::RunTrace& run,
+                                             units::Meters dist_from,
+                                             units::Meters dist_to) {
   if (run.ego.size() < 2 || dist_to <= dist_from) return std::nullopt;
   double travelled = 0.0;
   std::optional<double> t_enter;
@@ -123,9 +126,9 @@ std::optional<double> traversal_time(const trace::RunTrace& run, double dist_fro
     const auto& a = run.ego[i - 1];
     const auto& b = run.ego[i];
     travelled += std::hypot(b.x - a.x, b.y - a.y);
-    if (!t_enter && travelled >= dist_from) t_enter = b.t;
-    if (travelled >= dist_to) {
-      return b.t - t_enter.value_or(run.ego.front().t);
+    if (!t_enter && travelled >= dist_from.value()) t_enter = b.t;
+    if (travelled >= dist_to.value()) {
+      return units::Seconds{b.t - t_enter.value_or(run.ego.front().t)};
     }
   }
   return std::nullopt;

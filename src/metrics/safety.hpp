@@ -34,17 +34,18 @@ CollisionAnalysis analyze_collisions(const trace::RunTrace& run);
 /// Headway time: bumper gap / ego speed, same lead-selection rules as TTC.
 struct HeadwayStats {
   std::size_t samples{0};
-  double min{0.0};
-  double avg{0.0};
+  units::Seconds min{};
+  units::Seconds avg{};
   /// Fraction of samples below the European two-second rule (§II.B / [14]).
   double below_2s_fraction{0.0};
   bool valid() const { return samples > 0; }
 };
 HeadwayStats analyze_headway(const trace::RunTrace& run, const TtcConfig& config = {});
 
-/// Time Exposed TTC: seconds spent with 0 < TTC < threshold.
-double time_exposed_ttc(const std::vector<TtcSample>& series, double threshold_s,
-                        double sample_interval_s);
+/// Time Exposed TTC: time spent with 0 < TTC < threshold.
+units::Seconds time_exposed_ttc(const std::vector<TtcSample>& series,
+                                units::Seconds threshold,
+                                units::Seconds sample_interval);
 
 /// Speed / acceleration / pedal statistics over a run or window.
 struct DrivingStats {
@@ -57,13 +58,15 @@ struct DrivingStats {
   std::size_t solid_line_invasions{0};
 };
 DrivingStats analyze_driving(const trace::RunTrace& run,
-                             double start = -1e300, double stop = 1e300);
+                             units::Seconds start = units::Seconds{-1e300},
+                             units::Seconds stop = units::Seconds{1e300});
 
-/// Duration the ego needed to traverse [s_from, s_to] along its own path —
-/// used for the Fig. 4 observation that manoeuvres take longer under faults.
-/// Returns nullopt if the run never covers the interval. Positions are
-/// measured as cumulative travelled distance.
-std::optional<double> traversal_time(const trace::RunTrace& run, double dist_from,
-                                     double dist_to);
+/// Duration the ego needed to traverse [dist_from, dist_to] along its own
+/// path — used for the Fig. 4 observation that manoeuvres take longer under
+/// faults. Returns nullopt if the run never covers the interval. Positions
+/// are measured as cumulative travelled distance.
+std::optional<units::Seconds> traversal_time(const trace::RunTrace& run,
+                                             units::Meters dist_from,
+                                             units::Meters dist_to);
 
 }  // namespace rdsim::metrics

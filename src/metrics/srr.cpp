@@ -12,12 +12,12 @@ SrrResult SrrAnalyzer::analyze(const trace::RunTrace& run) const {
   return analyze_series(run.time_series(), run.steering_series());
 }
 
-SrrResult SrrAnalyzer::analyze_window(const trace::RunTrace& run, double start,
-                                      double stop) const {
+SrrResult SrrAnalyzer::analyze_window(const trace::RunTrace& run, units::Seconds start,
+                                      units::Seconds stop) const {
   std::vector<double> t;
   std::vector<double> steer;
   for (const trace::EgoSample& s : run.ego) {
-    if (s.t >= start && s.t < stop) {
+    if (s.t >= start.value() && s.t < stop.value()) {
       t.push_back(s.t);
       steer.push_back(s.steer);
     }
@@ -33,12 +33,12 @@ SrrResult SrrAnalyzer::analyze_series(const std::vector<double>& t,
   if (t.size() < 3 || t.size() != steer_fraction.size()) return result;
   RDSIM_REQUIRE(std::is_sorted(t.begin(), t.end()),
                 "SRR input: time series must be non-decreasing");
-  result.duration_s = t.back() - t.front();
-  if (result.duration_s < config_.min_duration_s) {
+  result.duration = units::Seconds{t.back() - t.front()};
+  if (result.duration < config_.min_duration) {
     // Too short to yield a meaningful rate; report zero but keep duration.
     return result;
   }
-  const double dt = result.duration_s / static_cast<double>(t.size() - 1);
+  const double dt = result.duration.value() / static_cast<double>(t.size() - 1);
   if (dt <= 0.0) return result;
   const double fs = 1.0 / dt;
   if (config_.cutoff_hz >= fs / 2.0) return result;
@@ -85,7 +85,7 @@ SrrResult SrrAnalyzer::analyze_series(const std::vector<double>& t,
   }
 
   result.reversals = reversals;
-  result.rate_per_min = static_cast<double>(reversals) / (result.duration_s / 60.0);
+  result.rate_per_min = static_cast<double>(reversals) / (result.duration.value() / 60.0);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::metrics {
 
@@ -19,14 +20,14 @@ struct SrrConfig {
   double threshold_deg{3.0};      ///< minimum swing to count as a reversal
   double wheel_range_deg{450.0};  ///< steering value 1.0 = this many degrees
                                   ///< (Logitech G27: 900 degrees lock-to-lock)
-  double min_duration_s{5.0};     ///< windows shorter than this yield no rate
+  units::Seconds min_duration{5.0};  ///< shorter windows yield no rate
 };
 
 struct SrrResult {
   std::size_t reversals{0};
-  double duration_s{0.0};
+  units::Seconds duration{};
   double rate_per_min{0.0};
-  bool valid() const { return duration_s >= 1e-9; }
+  bool valid() const { return duration.value() >= 1e-9; }
 };
 
 class SrrAnalyzer {
@@ -36,8 +37,9 @@ class SrrAnalyzer {
   /// SRR over the whole run.
   SrrResult analyze(const trace::RunTrace& run) const;
 
-  /// SRR over [start, stop) seconds of the run.
-  SrrResult analyze_window(const trace::RunTrace& run, double start, double stop) const;
+  /// SRR over the [start, stop) window of the run.
+  SrrResult analyze_window(const trace::RunTrace& run, units::Seconds start,
+                           units::Seconds stop) const;
 
   /// Core algorithm on a raw (time, steering-fraction) series sampled at a
   /// fixed rate. Exposed for tests and for externally recorded data.

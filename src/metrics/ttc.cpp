@@ -37,17 +37,18 @@ std::vector<TtcSample> TtcAnalyzer::series(const trace::RunTrace& run) const {
       const double dy = o.y - e.y;
       const double ahead = dx * hx + dy * hy;           // longitudinal gap
       const double lateral = -dx * hy + dy * hx;        // lateral offset
-      if (ahead <= 0.0 || ahead > config_.max_distance_m) continue;
-      if (std::fabs(lateral) > config_.max_lateral_m) continue;
+      if (ahead <= 0.0 || ahead > config_.max_distance.value()) continue;
+      if (std::fabs(lateral) > config_.max_lateral.value()) continue;
       const double lead_speed_along = o.vx * hx + o.vy * hy;
       const double closing = ego_speed - lead_speed_along;
-      if (closing < config_.min_closing_speed) continue;
-      const double gap = std::max(ahead - config_.length_correction_m, 0.1);
+      if (closing < config_.min_closing_speed.value()) continue;
+      const double gap = std::max(ahead - config_.length_correction.value(), 0.1);
       const double ttc = gap / closing;
       RDSIM_ENSURE(std::isfinite(ttc) && ttc > 0.0,
                    "TTC samples must be finite and positive");
-      if (!best || ahead < best->distance) {
-        best = TtcSample{e.t, ttc, ahead, o.actor};
+      if (!best || ahead < best->distance.value()) {
+        best = TtcSample{units::Seconds{e.t}, units::Seconds{ttc},
+                         units::Meters{ahead}, o.actor};
       }
     }
     if (best) out.push_back(*best);
@@ -56,25 +57,26 @@ std::vector<TtcSample> TtcAnalyzer::series(const trace::RunTrace& run) const {
 }
 
 TtcStats TtcAnalyzer::summarize(const std::vector<TtcSample>& series) const {
-  return summarize_window(series, -std::numeric_limits<double>::infinity(),
-                          std::numeric_limits<double>::infinity());
+  return summarize_window(series,
+                          units::Seconds{-std::numeric_limits<double>::infinity()},
+                          units::Seconds{std::numeric_limits<double>::infinity()});
 }
 
-TtcStats TtcAnalyzer::summarize_window(const std::vector<TtcSample>& series, double start,
-                                       double stop) const {
+TtcStats TtcAnalyzer::summarize_window(const std::vector<TtcSample>& series,
+                                       units::Seconds start, units::Seconds stop) const {
   util::RunningStats stats;
   std::size_t violations = 0;
   for (const TtcSample& s : series) {
     if (s.t < start || s.t >= stop) continue;
-    stats.add(s.ttc);
-    if (s.ttc > 0.0 && s.ttc < config_.violation_threshold_s) ++violations;
+    stats.add(s.ttc.value());
+    if (s.ttc > units::Seconds{} && s.ttc < config_.violation_threshold) ++violations;
   }
   TtcStats out;
   out.samples = stats.count();
   if (!stats.empty()) {
-    out.min = stats.min();
-    out.avg = stats.mean();
-    out.max = stats.max();
+    out.min = units::Seconds{stats.min()};
+    out.avg = units::Seconds{stats.mean()};
+    out.max = units::Seconds{stats.max()};
   }
   out.violations = violations;
   return out;

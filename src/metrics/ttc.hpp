@@ -14,33 +14,35 @@
 
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::metrics {
 
 struct TtcConfig {
-  double max_distance_m{100.0};   ///< ignore leads farther than this
-  double max_lateral_m{1.9};      ///< lead must be in the ego's lane corridor
-  double min_closing_speed{1.0};  ///< m/s; below this the pair is not
-                                  ///< meaningfully closing and TTC is undefined
-  double violation_threshold_s{6.0};
+  units::Meters max_distance{100.0};  ///< ignore leads farther than this
+  units::Meters max_lateral{1.9};     ///< lead must be in the ego's lane corridor
+  units::MetersPerSecond min_closing_speed{1.0};  ///< below this the pair is not
+                                                  ///< meaningfully closing and
+                                                  ///< TTC is undefined
+  units::Seconds violation_threshold{6.0};
   /// Bumper-to-bumper correction subtracted from the centre distance.
-  double length_correction_m{4.6};
+  units::Meters length_correction{4.6};
 };
 
 /// One TTC sample.
 struct TtcSample {
-  double t{0.0};
-  double ttc{0.0};
-  double distance{0.0};
+  units::Seconds t{};
+  units::Seconds ttc{};
+  units::Meters distance{};
   sim::ActorId lead{sim::kInvalidActor};
 };
 
 /// Summary statistics over a set of samples (one Table III cell group).
 struct TtcStats {
   std::size_t samples{0};
-  double min{0.0};
-  double avg{0.0};
-  double max{0.0};
+  units::Seconds min{};
+  units::Seconds avg{};
+  units::Seconds max{};
   std::size_t violations{0};  ///< samples with 0 < TTC < threshold
   bool valid() const { return samples > 0; }
 };
@@ -58,8 +60,8 @@ class TtcAnalyzer {
   TtcStats summarize(const std::vector<TtcSample>& series) const;
 
   /// Stats restricted to [start, stop).
-  TtcStats summarize_window(const std::vector<TtcSample>& series, double start,
-                            double stop) const;
+  TtcStats summarize_window(const std::vector<TtcSample>& series, units::Seconds start,
+                            units::Seconds stop) const;
 
   const TtcConfig& config() const { return config_; }
 

@@ -23,10 +23,11 @@ struct DirectionStats {
   std::uint64_t bytes_sent{0};
   util::Duration total_latency{};  ///< sum over delivered packets
 
-  double mean_latency_ms() const {
+  units::Millis mean_latency() const {
     return packets_delivered > 0
-               ? total_latency.to_millis() / static_cast<double>(packets_delivered)
-               : 0.0;
+               ? units::Millis{total_latency.to_millis() /
+                               static_cast<double>(packets_delivered)}
+               : units::Millis{};
   }
 };
 

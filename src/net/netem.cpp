@@ -12,9 +12,10 @@ namespace rdsim::net {
 
 namespace {
 
-void append_percent(std::ostringstream& os, const char* name, double p, double corr) {
-  os << ' ' << name << ' ' << p * 100.0 << '%';
-  if (corr > 0.0) os << ' ' << corr * 100.0 << '%';
+void append_percent(std::ostringstream& os, const char* name, units::Probability p,
+                    units::Probability corr) {
+  os << ' ' << name << ' ' << p.percent() << '%';
+  if (corr.value() > 0.0) os << ' ' << corr.percent() << '%';
 }
 
 }  // namespace
@@ -26,7 +27,7 @@ std::string NetemConfig::describe() const {
     os << " delay " << delay.to_millis() << "ms";
     if (jitter > util::Duration{}) {
       os << ' ' << jitter.to_millis() << "ms";
-      if (delay_correlation > 0.0) os << ' ' << delay_correlation * 100.0 << '%';
+      if (delay_correlation.value() > 0.0) os << ' ' << delay_correlation.percent() << '%';
     }
     switch (distribution) {
       case DelayDistribution::kUniform: break;
@@ -37,21 +38,22 @@ std::string NetemConfig::describe() const {
     }
   }
   if (gemodel) {
-    os << " loss gemodel " << gemodel->p * 100.0 << '%' << ' ' << gemodel->r * 100.0 << '%';
-  } else if (loss_probability > 0.0) {
+    os << " loss gemodel " << gemodel->p.percent() << '%' << ' ' << gemodel->r.percent()
+       << '%';
+  } else if (loss_probability.value() > 0.0) {
     append_percent(os, "loss", loss_probability, loss_correlation);
   }
-  if (duplicate_probability > 0.0) {
+  if (duplicate_probability.value() > 0.0) {
     append_percent(os, "duplicate", duplicate_probability, duplicate_correlation);
   }
-  if (corrupt_probability > 0.0) {
+  if (corrupt_probability.value() > 0.0) {
     append_percent(os, "corrupt", corrupt_probability, corrupt_correlation);
   }
-  if (reorder_probability > 0.0) {
+  if (reorder_probability.value() > 0.0) {
     append_percent(os, "reorder", reorder_probability, reorder_correlation);
     if (reorder_gap > 1) os << " gap " << reorder_gap;
   }
-  if (rate_bytes_per_s > 0.0) os << " rate " << rate_bytes_per_s * 8.0 / 1000.0 << "kbit";
+  if (rate.value() > 0.0) os << " rate " << rate.to_kbit() << "kbit";
   return os.str();
 }
 
@@ -145,9 +147,11 @@ util::Duration NetemQdisc::sample_delay() {
   util::Duration d = config_.delay;
   if (config_.jitter > util::Duration{}) {
     double unit = 0.0;
-    if (config_.delay_correlation > 0.0) {
+    if (config_.delay_correlation.value() > 0.0) {
       // Correlated uniform mapped to [-1, 1].
-      unit = 2.0 * correlated_uniform(config_.delay_correlation, delay_corr_state_) - 1.0;
+      unit = 2.0 * correlated_uniform(config_.delay_correlation.value(),
+                                      delay_corr_state_) -
+             1.0;
     } else {
       unit = sample_jitter_unit();
     }
@@ -165,16 +169,16 @@ bool NetemQdisc::sample_loss() {
     const auto& ge = *config_.gemodel;
     // Transition first, then sample the state's loss probability.
     if (ge_in_bad_state_) {
-      if (rng_.bernoulli(ge.r)) ge_in_bad_state_ = false;
+      if (rng_.bernoulli(ge.r.value())) ge_in_bad_state_ = false;
     } else {
-      if (rng_.bernoulli(ge.p)) ge_in_bad_state_ = true;
+      if (rng_.bernoulli(ge.p.value())) ge_in_bad_state_ = true;
     }
-    const double p_loss = ge_in_bad_state_ ? ge.k : ge.h;
+    const double p_loss = ge_in_bad_state_ ? ge.k.value() : ge.h.value();
     return rng_.bernoulli(p_loss);
   }
-  if (config_.loss_probability <= 0.0) return false;
-  const double p = config_.loss_probability;
-  const double rho = util::clamp(config_.loss_correlation, 0.0, 1.0);
+  if (config_.loss_probability.value() <= 0.0) return false;
+  const double p = config_.loss_probability.value();
+  const double rho = util::clamp(config_.loss_correlation.value(), 0.0, 1.0);
   if (rho <= 0.0) {
     const bool lost = rng_.bernoulli(p);
     last_loss_ = lost;
@@ -200,14 +204,16 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
   }
 
   bool duplicate = false;
-  if (config_.duplicate_probability > 0.0) {
-    const double u = correlated_uniform(config_.duplicate_correlation, dup_corr_state_);
-    duplicate = u < config_.duplicate_probability;
+  if (config_.duplicate_probability.value() > 0.0) {
+    const double u =
+        correlated_uniform(config_.duplicate_correlation.value(), dup_corr_state_);
+    duplicate = u < config_.duplicate_probability.value();
   }
 
-  if (config_.corrupt_probability > 0.0) {
-    const double u = correlated_uniform(config_.corrupt_correlation, corrupt_corr_state_);
-    if (u < config_.corrupt_probability && !packet.payload.empty()) {
+  if (config_.corrupt_probability.value() > 0.0) {
+    const double u =
+        correlated_uniform(config_.corrupt_correlation.value(), corrupt_corr_state_);
+    if (u < config_.corrupt_probability.value() && !packet.payload.empty()) {
       // Flip one random bit, as sch_netem does.
       const auto byte_idx = static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<int>(packet.payload.size()) - 1));
@@ -223,12 +229,12 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
   // Reordering: the selected packets jump the delay queue (sent "now"),
   // which makes them arrive ahead of earlier, still-delayed packets.
   bool send_immediately = false;
-  if (config_.reorder_probability > 0.0 && config_.has_delay()) {
+  if (config_.reorder_probability.value() > 0.0 && config_.has_delay()) {
     ++since_reorder_;
     if (since_reorder_ >= config_.reorder_gap) {
       const double u =
-          correlated_uniform(config_.reorder_correlation, reorder_corr_state_);
-      if (u < config_.reorder_probability) {
+          correlated_uniform(config_.reorder_correlation.value(), reorder_corr_state_);
+      if (u < config_.reorder_probability.value()) {
         send_immediately = true;
         since_reorder_ = 0;
       }
@@ -242,11 +248,11 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
   util::TimePoint release = now + delay;
 
   // Rate control: serialization starts when the previous packet finished.
-  if (config_.rate_bytes_per_s > 0.0) {
+  if (config_.rate.value() > 0.0) {
     const util::TimePoint start = std::max(release, last_tx_finish_);
-    const double tx_seconds =
-        static_cast<double>(packet.effective_wire_size()) / config_.rate_bytes_per_s;
-    release = start + util::Duration::seconds(tx_seconds);
+    const units::Seconds tx = units::transmit_time(
+        static_cast<double>(packet.effective_wire_size()), config_.rate);
+    release = start + tx.to_duration();
     last_tx_finish_ = release;
   }
 

@@ -16,6 +16,7 @@
 #include "net/qdisc.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::net {
 
@@ -52,10 +53,10 @@ class DelayDistributionTable {
 
 /// Two-state Gilbert–Elliott loss model parameters (netem `loss gemodel`).
 struct GilbertElliott {
-  double p{0.0};    ///< P(good -> bad)
-  double r{1.0};    ///< P(bad -> good)
-  double h{0.0};    ///< loss probability in the good state (1-k in tc terms)
-  double k{1.0};    ///< loss probability in the bad state
+  units::Probability p{};                                ///< P(good -> bad)
+  units::Probability r{units::Probability::unchecked(1.0)};  ///< P(bad -> good)
+  units::Probability h{};  ///< loss probability in the good state (1-k in tc terms)
+  units::Probability k{units::Probability::unchecked(1.0)};  ///< loss prob., bad state
 };
 
 /// Full parameter set of one netem rule, the analogue of a
@@ -64,35 +65,37 @@ struct NetemConfig {
   // Delay.
   util::Duration delay{};             ///< base one-way delay
   util::Duration jitter{};            ///< +/- variation
-  double delay_correlation{0.0};      ///< [0,1] correlation of successive jitter
+  units::Probability delay_correlation{};  ///< correlation of successive jitter
   DelayDistribution distribution{DelayDistribution::kUniform};
   std::shared_ptr<const DelayDistributionTable> distribution_table{};  ///< kTable
 
   // Loss.
-  double loss_probability{0.0};       ///< [0,1] independent random loss
-  double loss_correlation{0.0};       ///< [0,1] correlation of successive losses
+  units::Probability loss_probability{};  ///< independent random loss
+  units::Probability loss_correlation{};  ///< correlation of successive losses
   std::optional<GilbertElliott> gemodel{};  ///< takes precedence when set
 
   // Duplication / corruption.
-  double duplicate_probability{0.0};
-  double duplicate_correlation{0.0};
-  double corrupt_probability{0.0};
-  double corrupt_correlation{0.0};
+  units::Probability duplicate_probability{};
+  units::Probability duplicate_correlation{};
+  units::Probability corrupt_probability{};
+  units::Probability corrupt_correlation{};
 
   // Reordering: with probability `reorder_probability`, every `reorder_gap`-th
   // packet is transmitted immediately while the rest take the full delay.
-  double reorder_probability{0.0};
-  double reorder_correlation{0.0};
+  units::Probability reorder_probability{};
+  units::Probability reorder_correlation{};
   std::uint32_t reorder_gap{1};
 
-  // Rate control (bytes per second); 0 disables.
-  double rate_bytes_per_s{0.0};
+  // Rate control; zero rate disables the shaper.
+  units::BytesPerSecond rate{};
 
   // Queue limit in packets (netem default 1000).
   std::size_t limit{1000};
 
   bool has_delay() const { return delay > util::Duration{} || jitter > util::Duration{}; }
-  bool has_loss() const { return loss_probability > 0.0 || gemodel.has_value(); }
+  bool has_loss() const {
+    return loss_probability > units::Probability{} || gemodel.has_value();
+  }
 
   /// Render back to a `tc`-style argument string (for logs).
   std::string describe() const;

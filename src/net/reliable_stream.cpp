@@ -137,8 +137,8 @@ void ReliableStream::step(util::TimePoint now) {
 util::Duration ReliableStream::current_rto() const {
   util::Duration base = config_.rto_initial;
   if (rtt_valid_) {
-    const double rto_ms = srtt_ms_ + std::max(4.0 * rttvar_ms_, 1.0);
-    base = util::Duration::seconds(rto_ms / 1e3);
+    const units::Millis rto = srtt_ + units::Millis{std::max(4.0 * rttvar_.value(), 1.0)};
+    base = rto.to_duration();
   }
   base = std::max(base, config_.rto_min);
   for (std::uint32_t i = 0; i < rto_backoff_; ++i) base = base * 2;
@@ -146,18 +146,19 @@ util::Duration ReliableStream::current_rto() const {
 }
 
 void ReliableStream::update_rtt(util::Duration sample) {
-  const double r = sample.to_millis();
+  const units::Millis r = units::Millis::from_duration(sample);
   if (!rtt_valid_) {
-    srtt_ms_ = r;
-    rttvar_ms_ = r / 2.0;
+    srtt_ = r;
+    rttvar_ = r / 2.0;
     rtt_valid_ = true;
   } else {
     // RFC 6298 EWMA constants.
-    rttvar_ms_ = 0.75 * rttvar_ms_ + 0.25 * std::fabs(srtt_ms_ - r);
-    srtt_ms_ = 0.875 * srtt_ms_ + 0.125 * r;
+    rttvar_ = units::Millis{0.75 * rttvar_.value() +
+                            0.25 * std::fabs(srtt_.value() - r.value())};
+    srtt_ = 0.875 * srtt_ + 0.125 * r;
   }
-  stats_.srtt_ms = srtt_ms_;
-  stats_.rto_ms = current_rto().to_millis();
+  stats_.srtt = srtt_;
+  stats_.rto = units::Millis::from_duration(current_rto());
 }
 
 void ReliableStream::on_packet(const ProtocolHeader& header, Payload body,

@@ -26,6 +26,7 @@
 #include <map>
 
 #include "net/router.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::net {
 
@@ -66,8 +67,8 @@ struct StreamStats {
   std::uint64_t acks_sent{0};
   std::uint64_t dup_acks_seen{0};
   std::uint64_t stale_segments{0};     ///< duplicates discarded by receiver
-  double srtt_ms{0.0};
-  double rto_ms{0.0};
+  units::Millis srtt{};                ///< smoothed RTT estimate
+  units::Millis rto{};                 ///< current retransmission timeout
 };
 
 /// One reliable stream. A single object serves both halves because the whole
@@ -148,8 +149,8 @@ class ReliableStream {
   std::uint32_t last_cum_ack_{0};
   std::uint32_t dup_ack_count_{0};
   std::uint32_t rto_backoff_{0};
-  double srtt_ms_{0.0};
-  double rttvar_ms_{0.0};
+  units::Millis srtt_{};
+  units::Millis rttvar_{};
   bool rtt_valid_{false};
 
   // Receiver state.

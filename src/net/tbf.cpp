@@ -7,7 +7,7 @@ namespace rdsim::net {
 void TbfQdisc::refill(util::TimePoint now) {
   const double dt = (now - last_refill_).to_seconds();
   if (dt > 0.0) {
-    tokens_ = std::min(config_.burst_bytes, tokens_ + dt * config_.rate_bytes_per_s);
+    tokens_ = std::min(config_.burst_bytes, tokens_ + dt * config_.rate.value());
     last_refill_ = now;
   }
 }
@@ -43,8 +43,8 @@ std::optional<util::TimePoint> TbfQdisc::next_event() const {
   const double deficit =
       static_cast<double>(queue_.front().effective_wire_size()) - tokens_;
   if (deficit <= 0.0) return last_refill_;
-  const double wait_s = deficit / config_.rate_bytes_per_s;
-  return last_refill_ + util::Duration::seconds(wait_s);
+  const units::Seconds wait = units::transmit_time(deficit, config_.rate);
+  return last_refill_ + wait.to_duration();
 }
 
 }  // namespace rdsim::net

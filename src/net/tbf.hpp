@@ -8,13 +8,14 @@
 #include <optional>
 
 #include "net/qdisc.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::net {
 
 struct TbfConfig {
-  double rate_bytes_per_s{125000.0};  ///< sustained rate (default 1 Mbit/s)
-  double burst_bytes{16000.0};        ///< bucket depth
-  std::size_t limit{1000};            ///< queue limit, packets
+  units::BytesPerSecond rate{125000.0};  ///< sustained rate (default 1 Mbit/s)
+  double burst_bytes{16000.0};           ///< bucket depth
+  std::size_t limit{1000};               ///< queue limit, packets
 };
 
 class TbfQdisc final : public Qdisc {

@@ -50,7 +50,7 @@ util::Duration parse_duration(const std::string& token) {
   const double value = leading_number(token, consumed);
   const std::string unit = lower(token.substr(consumed));
   if (unit.empty() || unit == "ms" || unit == "msec" || unit == "msecs") {
-    return util::Duration::seconds(value / 1e3);
+    return units::Millis{value}.to_duration();
   }
   if (unit == "us" || unit == "usec" || unit == "usecs") {
     return util::Duration::micros(static_cast<std::int64_t>(value));
@@ -61,7 +61,7 @@ util::Duration parse_duration(const std::string& token) {
   throw TcParseError{"unknown time unit in '" + token + "'"};
 }
 
-double parse_percent(const std::string& token) {
+units::Probability parse_percent(const std::string& token) {
   std::size_t consumed = 0;
   const double value = leading_number(token, consumed);
   const std::string suffix = token.substr(consumed);
@@ -76,20 +76,20 @@ double parse_percent(const std::string& token) {
   if (p < 0.0 || p > 1.0) {
     throw TcParseError{"percentage out of range in '" + token + "'"};
   }
-  return p;
+  return units::Probability{p};
 }
 
-double parse_rate_bytes_per_s(const std::string& token) {
+units::BytesPerSecond parse_rate(const std::string& token) {
   std::size_t consumed = 0;
   const double value = leading_number(token, consumed);
   const std::string unit = lower(token.substr(consumed));
-  if (unit == "bit") return value / 8.0;
-  if (unit == "kbit") return value * 1000.0 / 8.0;
-  if (unit == "mbit") return value * 1000.0 * 1000.0 / 8.0;
-  if (unit == "gbit") return value * 1000.0 * 1000.0 * 1000.0 / 8.0;
-  if (unit == "bps" || unit.empty()) return value;
-  if (unit == "kbps") return value * 1000.0;
-  if (unit == "mbps") return value * 1000.0 * 1000.0;
+  if (unit == "bit") return units::BytesPerSecond::from_bit(value);
+  if (unit == "kbit") return units::BytesPerSecond::from_kbit(value);
+  if (unit == "mbit") return units::BytesPerSecond::from_mbit(value);
+  if (unit == "gbit") return units::BytesPerSecond::from_gbit(value);
+  if (unit == "bps" || unit.empty()) return units::BytesPerSecond::from_bps(value);
+  if (unit == "kbps") return units::BytesPerSecond::from_kbps(value);
+  if (unit == "mbps") return units::BytesPerSecond::from_mbps(value);
   throw TcParseError{"unknown rate unit in '" + token + "'"};
 }
 
@@ -127,7 +127,7 @@ NetemConfig parse_netem_args(const std::vector<std::string>& args) {
         GilbertElliott ge;
         ge.p = parse_percent(next());
         if (peek_numeric()) ge.r = parse_percent(next());
-        if (peek_numeric()) ge.h = 1.0 - parse_percent(next());  // tc: 1-h
+        if (peek_numeric()) ge.h = parse_percent(next()).complement();  // tc: 1-h
         if (peek_numeric()) ge.k = parse_percent(next());
         cfg.gemodel = ge;
       } else {
@@ -149,7 +149,7 @@ NetemConfig parse_netem_args(const std::vector<std::string>& args) {
       cfg.reorder_gap = static_cast<std::uint32_t>(leading_number(g, consumed));
       if (cfg.reorder_gap == 0) cfg.reorder_gap = 1;
     } else if (key == "rate") {
-      cfg.rate_bytes_per_s = parse_rate_bytes_per_s(next());
+      cfg.rate = parse_rate(next());
     } else if (key == "limit") {
       const std::string l = next();
       std::size_t consumed = 0;

@@ -29,10 +29,11 @@ class TcParseError : public std::runtime_error {
 util::Duration parse_duration(const std::string& token);
 
 /// Parse a percentage token: "5%", "2.5%", or a bare fraction "0.05".
-double parse_percent(const std::string& token);
+/// Throws TcParseError when outside [0, 1].
+units::Probability parse_percent(const std::string& token);
 
 /// Parse a rate token: "1mbit", "500kbit", "125kbps" (bytes/s), "1gbit".
-double parse_rate_bytes_per_s(const std::string& token);
+units::BytesPerSecond parse_rate(const std::string& token);
 
 /// Parse the argument list after the `netem` keyword, e.g.
 /// "delay 50ms 10ms 25% distribution normal loss 5% 25% reorder 25% gap 5".

@@ -18,7 +18,7 @@ class Actor;
 class ActorController {
  public:
   virtual ~ActorController() = default;
-  virtual void update(Actor& actor, const RoadNetwork& road, double dt) = 0;
+  virtual void update(Actor& actor, const RoadNetwork& road, units::Seconds dt) = 0;
 };
 
 class Actor {
@@ -42,11 +42,12 @@ class Actor {
   }
   bool has_controller() const { return controller_ != nullptr; }
 
-  /// Track-position cache, maintained by the world for cheap projection.
-  double track_s() const { return track_s_; }
-  void set_track_s(double s) { track_s_ = s; }
+  /// Track-position cache (arc length along the route), maintained by the
+  /// world for cheap projection.
+  units::Meters track_position() const { return track_position_; }
+  void set_track_position(units::Meters s) { track_position_ = s; }
 
-  void step(const RoadNetwork& road, double dt) {
+  void step(const RoadNetwork& road, units::Seconds dt) {
     if (controller_) controller_->update(*this, road, dt);
     // Static vehicles don't move; walkers are integrated by their
     // controller, not by the wheeled-plant dynamics.
@@ -61,7 +62,7 @@ class Actor {
   std::string role_;
   Vehicle vehicle_;
   std::unique_ptr<ActorController> controller_;
-  double track_s_{0.0};
+  units::Meters track_position_{};
 };
 
 /// Follows a lane at a scripted speed profile — the "dynamic vehicle" the
@@ -70,23 +71,23 @@ class Actor {
 class LaneFollowController final : public ActorController {
  public:
   struct SpeedPoint {
-    double s;        ///< breakpoint position along the route
-    double speed;    ///< m/s target from this position on
+    units::Meters s;              ///< breakpoint position along the route
+    units::MetersPerSecond speed; ///< target from this position on
   };
 
-  LaneFollowController(int lane, double cruise_speed);
+  LaneFollowController(int lane, units::MetersPerSecond cruise_speed);
 
   /// Replace the constant cruise speed with a piecewise profile.
   void set_speed_profile(std::vector<SpeedPoint> profile);
   void set_lane(int lane) { lane_ = lane; }
 
-  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+  void update(Actor& actor, const RoadNetwork& road, units::Seconds dt) override;
 
  private:
-  double target_speed_at(double s) const;
+  units::MetersPerSecond target_speed_at(units::Meters s) const;
 
   int lane_;
-  double cruise_speed_;
+  units::MetersPerSecond cruise_speed_;
   std::vector<SpeedPoint> profile_;
 };
 
@@ -97,18 +98,18 @@ class LaneFollowController final : public ActorController {
 /// wheeled plants.
 class WalkerController final : public ActorController {
  public:
-  /// `walk_speed` m/s; `target_lateral` where the walker stops (far kerb).
-  WalkerController(double walk_speed, double target_lateral);
+  /// `target_lateral` is where the walker stops (far kerb).
+  WalkerController(units::MetersPerSecond walk_speed, units::Meters target_lateral);
 
   void start_crossing() { crossing_ = true; }
   bool crossing() const { return crossing_; }
   bool done() const { return done_; }
 
-  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+  void update(Actor& actor, const RoadNetwork& road, units::Seconds dt) override;
 
  private:
-  double walk_speed_;
-  double target_lateral_;
+  units::MetersPerSecond walk_speed_;
+  units::Meters target_lateral_;
   bool crossing_{false};
   bool done_{false};
 };
@@ -117,17 +118,18 @@ class WalkerController final : public ActorController {
 /// the "false test case" road users a remote driver might misread (§V.B).
 class CyclistController final : public ActorController {
  public:
-  CyclistController(double speed, double edge_offset, double wobble_amp = 0.15,
-                    double wobble_period_s = 3.0);
+  CyclistController(units::MetersPerSecond speed, units::Meters edge_offset,
+                    double wobble_amp = 0.15,
+                    units::Seconds wobble_period = units::Seconds{3.0});
 
-  void update(Actor& actor, const RoadNetwork& road, double dt) override;
+  void update(Actor& actor, const RoadNetwork& road, units::Seconds dt) override;
 
  private:
-  double speed_;
-  double edge_offset_;
+  units::MetersPerSecond speed_;
+  units::Meters edge_offset_;
   double wobble_amp_;
-  double wobble_period_;
-  double phase_{0.0};
+  units::Seconds wobble_period_;
+  units::Seconds phase_{};
 };
 
 }  // namespace rdsim::sim

@@ -141,9 +141,9 @@ RpcResponse SimServer::execute(const RpcRequest& request) {
     case RpcOpcode::kHello:
       break;
     case RpcOpcode::kSpawnVehicle:
-      resp.actor = world_->spawn_at_offset(request.kind, request.spawn_s,
-                                           request.spawn_lateral, {},
-                                           request.initial_speed, request.role);
+      resp.actor = world_->spawn_at_offset(
+          request.kind, units::Meters{request.spawn_s}, request.spawn_lateral, {},
+          units::MetersPerSecond{request.initial_speed}, request.role);
       break;
     case RpcOpcode::kDestroyActor:
       if (world_->find(request.actor) == nullptr) {

@@ -22,15 +22,15 @@
 
 namespace rdsim::sim {
 
-/// One leg of the route instruction sheet: between `from_s` and `to_s` the
-/// subject is asked to keep `target_lane` (with an optional lateral bias for
-/// e.g. giving a cyclist room) at roughly `target_speed`.
+/// One leg of the route instruction sheet: between arc positions `from` and
+/// `to` the subject is asked to keep `target_lane` (with an optional lateral
+/// bias for e.g. giving a cyclist room) at roughly `target_speed`.
 struct DriveInstruction {
-  double from_s{0.0};
-  double to_s{0.0};
+  units::Meters from{};
+  units::Meters to{};
   int target_lane{0};
-  double target_speed{10.0};   ///< m/s
-  double lateral_bias{0.0};    ///< metres, + left of the lane centre
+  units::MetersPerSecond target_speed{10.0};
+  units::Meters lateral_bias{};  ///< + left of the lane centre
   std::string note{};
 };
 
@@ -38,24 +38,24 @@ struct DriveInstruction {
 /// while following a vehicle, and when performing lane change operations").
 struct PoiWindow {
   std::string name;
-  double from_s{0.0};
-  double to_s{0.0};
+  units::Meters from{};
+  units::Meters to{};
 };
 
-/// Deferred world mutation fired when the ego reaches `ego_s`.
+/// Deferred world mutation fired when the ego reaches arc position `at`.
 struct Trigger {
-  double ego_s{0.0};
+  units::Meters at{};
   std::string description;
   std::function<void(World&)> action;
 };
 
 struct Scenario {
   std::string name;
-  double ego_start_s{0.0};
+  units::Meters ego_start{};
   int ego_start_lane{0};
-  double ego_initial_speed{0.0};
-  double end_s{0.0};          ///< run completes when the ego passes this
-  double time_limit_s{600.0}; ///< hard stop (subject lost / stuck)
+  units::MetersPerSecond ego_initial_speed{};
+  units::Meters end{};              ///< run completes when the ego passes this
+  units::Seconds time_limit{600.0}; ///< hard stop (subject lost / stuck)
   WeatherConfig weather{};
   std::vector<DriveInstruction> instructions;
   std::vector<PoiWindow> pois;
@@ -65,10 +65,10 @@ struct Scenario {
 
   /// Instruction in force at route position `s` (the latest one whose window
   /// contains s; defaults keep lane 0 at 10 m/s).
-  DriveInstruction instruction_at(double s) const;
+  DriveInstruction instruction_at(units::Meters s) const;
 
   /// The POI containing `s`, if any.
-  std::optional<PoiWindow> poi_at(double s) const;
+  std::optional<PoiWindow> poi_at(units::Meters s) const;
 };
 
 /// Executes a scenario against a world: spawns the ego and initial actors,
@@ -84,7 +84,8 @@ class ScenarioRuntime {
   bool timed_out() const;
   const Scenario& scenario() const { return scenario_; }
   ActorId ego_id() const { return ego_id_; }
-  double ego_s() const;
+  /// Ego arc position along the route.
+  units::Meters ego_position() const;
 
  private:
   Scenario scenario_;

@@ -8,29 +8,30 @@ namespace rdsim::sim {
 
 VehicleParams VehicleParams::scaled_model_vehicle() {
   VehicleParams p;
-  p.wheelbase = 0.35;
+  p.wheelbase = units::Meters{0.35};
   p.max_steer_deg = 30.0;
   p.max_steer_rate_deg = 500.0;
-  p.max_engine_accel = 2.5;
-  p.max_brake_decel = 5.0;
+  p.max_engine_accel = units::MetersPerSecond2{2.5};
+  p.max_brake_decel = units::MetersPerSecond2{5.0};
   p.drag_coeff = 0.02;
-  p.rolling_resist = 0.15;
-  p.max_speed = 4.0;
-  p.throttle_tau = 0.08;
-  p.brake_tau = 0.05;
+  p.rolling_resist = units::MetersPerSecond2{0.15};
+  p.max_speed = units::MetersPerSecond{4.0};
+  p.throttle_tau = units::Seconds{0.08};
+  p.brake_tau = units::Seconds{0.05};
   p.bbox = BoundingBox{0.25, 0.12};
   return p;
 }
 
-void Vehicle::step(double dt) {
+void Vehicle::step(units::Seconds dt_step) {
+  const double dt = dt_step.value();
   RDSIM_REQUIRE(std::isfinite(dt), "vehicle step size must be finite");
   if (dt <= 0.0) return;
 
   // Actuator lags (first order).
-  const double engine_target = control_.throttle * params_.max_engine_accel;
-  const double brake_target = control_.brake * params_.max_brake_decel;
-  const double ea = dt / (params_.throttle_tau + dt);
-  const double ba = dt / (params_.brake_tau + dt);
+  const double engine_target = control_.throttle * params_.max_engine_accel.value();
+  const double brake_target = control_.brake * params_.max_brake_decel.value();
+  const double ea = dt / (params_.throttle_tau.value() + dt);
+  const double ba = dt / (params_.brake_tau.value() + dt);
   engine_accel_ += ea * (engine_target - engine_accel_);
   brake_decel_ += ba * (brake_target - brake_decel_);
 
@@ -43,14 +44,15 @@ void Vehicle::step(double dt) {
 
   // Longitudinal: engine force fades as speed approaches the power limit.
   const double speed_abs = std::fabs(forward_speed_);
-  const double power_fade = util::clamp(1.0 - speed_abs / params_.max_speed, 0.0, 1.0);
+  const double power_fade =
+      util::clamp(1.0 - speed_abs / params_.max_speed.value(), 0.0, 1.0);
   double accel = engine_accel_ * power_fade * (control_.reverse ? -0.5 : 1.0);
   const double resist = params_.drag_coeff * speed_abs * speed_abs +
-                        (speed_abs > 0.01 ? params_.rolling_resist : 0.0);
+                        (speed_abs > 0.01 ? params_.rolling_resist.value() : 0.0);
   const double sign = forward_speed_ >= 0.0 ? 1.0 : -1.0;
   accel -= sign * resist;
   accel -= sign * brake_decel_;
-  if (control_.hand_brake) accel -= sign * params_.max_brake_decel;
+  if (control_.hand_brake) accel -= sign * params_.max_brake_decel.value();
 
   double new_speed = forward_speed_ + accel * dt;
   // Brakes stop the car; they do not push it backwards.
@@ -60,7 +62,8 @@ void Vehicle::step(double dt) {
   forward_speed_ = new_speed;
 
   // Kinematic bicycle.
-  const double yaw_rate = forward_speed_ * std::tan(steer_angle_) / params_.wheelbase;
+  const double yaw_rate =
+      forward_speed_ * std::tan(steer_angle_) / params_.wheelbase.value();
   const double mid_heading = state_.heading + yaw_rate * dt / 2.0;
   state_.position += util::Vec2::from_heading(mid_heading) * (forward_speed_ * dt);
   state_.heading = util::wrap_angle(state_.heading + yaw_rate * dt);

@@ -9,20 +9,21 @@
 #pragma once
 
 #include "sim/types.hpp"
+#include "util/units.hpp"
 
 namespace rdsim::sim {
 
 struct VehicleParams {
-  double wheelbase{2.7};            ///< m
+  units::Meters wheelbase{2.7};
   double max_steer_deg{40.0};       ///< road-wheel angle at |steer| = 1
   double max_steer_rate_deg{220.0}; ///< road-wheel slew limit, deg/s
-  double max_engine_accel{3.0};     ///< m/s^2 at full throttle, low speed
-  double max_brake_decel{8.0};      ///< m/s^2 at full brake
+  units::MetersPerSecond2 max_engine_accel{3.0};  ///< full throttle, low speed
+  units::MetersPerSecond2 max_brake_decel{8.0};   ///< full brake
   double drag_coeff{0.0008};        ///< quadratic drag, 1/m (a = -c v^2)
-  double rolling_resist{0.08};      ///< m/s^2 constant when moving
-  double max_speed{38.0};           ///< m/s, power-limited top speed
-  double throttle_tau{0.25};        ///< s, powertrain response lag
-  double brake_tau{0.10};           ///< s, hydraulic response lag
+  units::MetersPerSecond2 rolling_resist{0.08};   ///< constant when moving
+  units::MetersPerSecond max_speed{38.0};         ///< power-limited top speed
+  units::Seconds throttle_tau{0.25};              ///< powertrain response lag
+  units::Seconds brake_tau{0.10};                 ///< hydraulic response lag
   BoundingBox bbox{};
 
   /// Faster, twitchier plant approximating the scaled-down model vehicle
@@ -51,8 +52,8 @@ class Vehicle {
   /// subsystem applies the most recent command received from the station).
   void apply_control(const VehicleControl& control) { control_ = control.clamped(); }
 
-  /// Advance dynamics by dt seconds.
-  void step(double dt);
+  /// Advance dynamics by one integration step.
+  void step(units::Seconds dt);
 
   /// Longitudinal speed (signed: negative in reverse), m/s.
   double forward_speed() const { return forward_speed_; }

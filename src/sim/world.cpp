@@ -7,36 +7,36 @@ namespace rdsim::sim {
 World::World(RoadNetwork road, VehicleParams default_params)
     : road_{std::move(road)}, default_params_{default_params} {}
 
-ActorId World::spawn_on_road(ActorKind kind, double s, int lane,
-                             std::optional<VehicleParams> params, double initial_speed,
-                             std::string role) {
+ActorId World::spawn_on_road(ActorKind kind, units::Meters s, int lane,
+                             std::optional<VehicleParams> params,
+                             units::MetersPerSecond initial_speed, std::string role) {
   return spawn_at_offset(kind, s, road_.lane_center_offset(lane), params, initial_speed,
                          std::move(role));
 }
 
-ActorId World::spawn_at_offset(ActorKind kind, double s, double lateral,
-                               std::optional<VehicleParams> params, double initial_speed,
-                               std::string role) {
+ActorId World::spawn_at_offset(ActorKind kind, units::Meters s, double lateral,
+                               std::optional<VehicleParams> params,
+                               units::MetersPerSecond initial_speed, std::string role) {
   const ActorId id = next_id_++;
   VehicleParams p = params.value_or(default_params_);
   if (kind == ActorKind::kCyclist) {
     p.bbox = BoundingBox{0.9, 0.35};
-    p.wheelbase = 1.1;
-    p.max_speed = 9.0;
+    p.wheelbase = units::Meters{1.1};
+    p.max_speed = units::MetersPerSecond{9.0};
   } else if (kind == ActorKind::kWalker) {
     p.bbox = BoundingBox{0.25, 0.25};
-    p.max_speed = 3.0;
+    p.max_speed = units::MetersPerSecond{3.0};
   }
   auto actor = std::make_unique<Actor>(id, kind, p);
   actor->set_role(std::move(role));
 
-  const util::Pose pose = road_.sample_offset(s, lateral);
+  const util::Pose pose = road_.sample_offset(s.value(), lateral);
   KinematicState state;
   state.position = pose.position;
   state.heading = pose.heading;
-  state.velocity = pose.forward() * initial_speed;
+  state.velocity = pose.forward() * initial_speed.value();
   actor->vehicle().set_state(state);
-  actor->set_track_s(s);
+  actor->set_track_position(s);
   actors_.emplace(id, std::move(actor));
   return id;
 }
@@ -90,14 +90,15 @@ void World::apply_ego_control(const VehicleControl& control) {
   ego().vehicle().apply_control(control);
 }
 
-void World::step(double dt) {
+void World::step(units::Seconds dt) {
   for (auto& [_, actor] : actors_) {
     actor->step(road_, dt);
     // Keep the track-position cache warm for every actor.
-    const auto proj = road_.project(actor->state().position, actor->track_s());
-    actor->set_track_s(proj.s);
+    const auto proj =
+        road_.project(actor->state().position, actor->track_position().value());
+    actor->set_track_position(units::Meters{proj.s});
   }
-  now_ += util::Duration::seconds(dt);
+  now_ += dt.to_duration();
   ++physics_frame_;
   if (ego_ != kInvalidActor) {
     sense_collisions();
@@ -143,7 +144,8 @@ void World::sense_collisions() {
 }
 
 void World::sense_lane_invasion() {
-  const auto proj = road_.project(ego().state().position, ego().track_s());
+  const auto proj =
+      road_.project(ego().state().position, ego().track_position().value());
   if (!ego_lane_valid_) {
     last_ego_lane_ = proj.lane;
     ego_lane_valid_ = true;

@@ -42,14 +42,16 @@ class World {
   // ----- actor management (CARLA spawn API analogue) -----
 
   /// Spawn at (s, lane) on the road, heading along the lane.
-  ActorId spawn_on_road(ActorKind kind, double s, int lane,
+  ActorId spawn_on_road(ActorKind kind, units::Meters s, int lane,
                         std::optional<VehicleParams> params = {},
-                        double initial_speed = 0.0, std::string role = {});
+                        units::MetersPerSecond initial_speed = {},
+                        std::string role = {});
   /// Spawn at an arbitrary offset from the reference line (road users that
   /// are not lane-centred, e.g. cyclists near the edge).
-  ActorId spawn_at_offset(ActorKind kind, double s, double lateral,
+  ActorId spawn_at_offset(ActorKind kind, units::Meters s, double lateral,
                           std::optional<VehicleParams> params = {},
-                          double initial_speed = 0.0, std::string role = {});
+                          units::MetersPerSecond initial_speed = {},
+                          std::string role = {});
   void set_controller(ActorId id, std::unique_ptr<ActorController> controller);
   void destroy(ActorId id);
 
@@ -73,8 +75,8 @@ class World {
 
   // ----- stepping & sensing -----
 
-  /// Advance physics and sensors by `dt` seconds.
-  void step(double dt);
+  /// Advance physics and sensors by one step.
+  void step(units::Seconds dt);
 
   util::TimePoint now() const { return now_; }
   std::uint32_t frame_counter() const { return physics_frame_; }

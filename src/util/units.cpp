@@ -1,0 +1,14 @@
+#include "util/units.hpp"
+
+#include "check/contracts.hpp"
+
+namespace rdsim::units {
+
+Probability::Probability(double p) : v_{p} {
+  RDSIM_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0, 1]");
+  // Under non-throwing contract policies keep the invariant anyway.
+  if (v_ < 0.0) v_ = 0.0;
+  if (v_ > 1.0) v_ = 1.0;
+}
+
+}  // namespace rdsim::units

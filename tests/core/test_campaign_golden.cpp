@@ -32,7 +32,7 @@ constexpr double kGoldenTimeCapS = 12.0;
 ExperimentConfig golden_config(std::uint64_t seed) {
   ExperimentConfig cfg;
   cfg.seed = seed;
-  cfg.run_time_limit_s = kGoldenTimeCapS;
+  cfg.run_time_limit = units::Seconds{kGoldenTimeCapS};
   return cfg;
 }
 

@@ -19,7 +19,7 @@ const CampaignResult& mini_campaign() {
   static const CampaignResult campaign = [] {
     ExperimentConfig cfg;
     cfg.seed = 42;
-    cfg.run_time_limit_s = 6.0;
+    cfg.run_time_limit = units::Seconds{6.0};
     return ExperimentHarness{cfg}.run_campaign();
   }();
   return campaign;
@@ -106,7 +106,7 @@ TEST(CampaignFingerprint, DistinguishesEveryCampaignShapingField) {
   ExperimentConfig weights = base;
   weights.fault_weights[0] += 1.0;
   ExperimentConfig cap = base;
-  cap.run_time_limit_s = 20.0;
+  cap.run_time_limit = units::Seconds{20.0};
   ExperimentConfig rds = base;
   rds.rds.station.video_fps = 29.0;
   ExperimentConfig safety = base;

@@ -23,9 +23,11 @@ struct DriverHarness {
   static sim::Scenario make_scenario() {
     sim::Scenario sc;
     sc.ego_start_lane = 0;
-    sc.end_s = 2000.0;
-    sc.instructions.push_back({0.0, 300.0, 0, 10.0, 0.0, "cruise"});
-    sc.instructions.push_back({300.0, 2000.0, 1, 10.0, 0.0, "lane 1"});
+    sc.end = units::Meters{2000.0};
+    sc.instructions.push_back({units::Meters{0.0}, units::Meters{300.0}, 0,
+                               units::MetersPerSecond{10.0}, units::Meters{0.0}, "cruise"});
+    sc.instructions.push_back({units::Meters{300.0}, units::Meters{2000.0}, 1,
+                               units::MetersPerSecond{10.0}, units::Meters{0.0}, "lane 1"});
     return sc;
   }
 

@@ -13,7 +13,8 @@ using util::TimePoint;
 const sim::Scenario& shared_scenario() {
   static const sim::Scenario scenario = [] {
     sim::Scenario s;
-    s.instructions.push_back({0.0, 5000.0, 0, 10.0, 0.0, "cruise"});
+    s.instructions.push_back({units::Meters{0.0}, units::Meters{5000.0}, 0,
+                              units::MetersPerSecond{10.0}, units::Meters{0.0}, "cruise"});
     return s;
   }();
   return scenario;
@@ -88,12 +89,12 @@ TEST(Operator, QoeTracksFreezes) {
     op.on_frame(frame_at(++id, t), t);
     op.poll(t + Duration::millis(1));
   }
-  const double frozen_smooth = op.qoe().frozen_time_s;
+  const double frozen_smooth = op.qoe().frozen_time.value();
   // Then a 1.5 s freeze while polling continues.
   for (int ms = 2000; ms < 3500; ms += 33) {
     op.poll(TimePoint::from_micros(ms * 1000));
   }
-  EXPECT_GT(op.qoe().frozen_time_s, frozen_smooth + 1.0);
+  EXPECT_GT(op.qoe().frozen_time.value(), frozen_smooth + 1.0);
   EXPECT_GT(op.qoe().frozen_fraction(), 0.3);
 }
 
@@ -115,16 +116,16 @@ TEST(Operator, QoeScoreDegradesWithFreezes) {
 
 TEST(QoeStats, ScoreBounds) {
   QoeStats q;
-  q.watch_time_s = 100.0;
-  q.frozen_time_s = 95.0;
+  q.watch_time = units::Seconds{100.0};
+  q.frozen_time = units::Seconds{95.0};
   q.freeze_episodes = 200;
-  q.staleness_sum_s = 500.0;
+  q.staleness_sum = units::Seconds{500.0};
   q.staleness_samples = 100;
   EXPECT_GE(q.score(), 1.0);
   QoeStats perfect;
-  perfect.watch_time_s = 100.0;
+  perfect.watch_time = units::Seconds{100.0};
   perfect.staleness_samples = 100;
-  perfect.staleness_sum_s = 2.0;
+  perfect.staleness_sum = units::Seconds{2.0};
   EXPECT_LE(perfect.score(), 5.0);
   EXPECT_GT(perfect.score(), 4.5);
 }

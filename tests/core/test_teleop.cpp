@@ -56,8 +56,8 @@ TEST(TeleopSession, DelayFaultRaisesLinkLatency) {
   TeleopSession fs{std::move(faulty), sim::make_following_scenario()};
   const RunResult f = fs.run();
 
-  EXPECT_GT(f.mean_downlink_latency_ms, g.mean_downlink_latency_ms + 5.0);
-  EXPECT_GT(f.mean_uplink_latency_ms, g.mean_uplink_latency_ms + 5.0);  // bidirectional
+  EXPECT_GT(f.mean_downlink_latency.value(), g.mean_downlink_latency.value() + 5.0);
+  EXPECT_GT(f.mean_uplink_latency.value(), g.mean_uplink_latency.value() + 5.0);  // bidirectional
 }
 
 TEST(TeleopSession, LossFaultCausesRetransmissions) {
@@ -67,7 +67,7 @@ TEST(TeleopSession, LossFaultCausesRetransmissions) {
   TeleopSession session{std::move(rc), sim::make_following_scenario()};
   const RunResult r = session.run();
   EXPECT_GT(r.video_stats.retransmits_rto + r.video_stats.retransmits_fast, 10u);
-  EXPECT_GT(r.qoe.frozen_time_s, 0.05);  // visible stutter during the window
+  EXPECT_GT(r.qoe.frozen_time.value(), 0.05);  // visible stutter during the window
 }
 
 TEST(TeleopSession, DeterministicForSameSeed) {
@@ -128,7 +128,7 @@ TEST(TeleopSession, StepApiExposesProgress) {
     ASSERT_TRUE(session.step());
   }
   EXPECT_GT(session.now().to_seconds(), 2.0);
-  EXPECT_GT(session.vehicle().runtime().ego_s(), 5.0);
+  EXPECT_GT(session.vehicle().runtime().ego_position(), units::Meters{5.0});
 }
 
 TEST(TeleopSession, SevereDelayDegradesFeed) {

@@ -37,7 +37,7 @@ TEST(Training, DurationClampedToPaperBounds) {
   too_long.minutes = 30.0;
   const auto result = run_training(profile, too_long);
   // Clamped to 5 minutes: the free drive cannot exceed the cap.
-  EXPECT_LE(result.run.duration_s, 5.0 * 60.0 + 5.0);
+  EXPECT_LE(result.run.duration.value(), 5.0 * 60.0 + 5.0);
 }
 
 TEST(Training, RunsTheEmptyTown) {

@@ -53,12 +53,12 @@ TEST(VehicleSubsystem, AppliesLatestCommandOnly) {
 TEST(VehicleSubsystem, CommandAgeTracksQoS) {
   RdsConfig cfg;
   VehicleSubsystem vs{cfg, sim::make_following_scenario()};
-  EXPECT_TRUE(std::isinf(vs.command_age_s(TimePoint{})));
+  EXPECT_TRUE(std::isinf(vs.command_age(TimePoint{}).value()));
   CommandMsg cmd;
   cmd.sequence = 1;
   cmd.sent_at_us = TimePoint::from_seconds(1.0).count_micros();
   vs.on_command(cmd, TimePoint::from_seconds(1.05));
-  EXPECT_NEAR(vs.command_age_s(TimePoint::from_seconds(1.25)), 0.25, 1e-9);
+  EXPECT_NEAR(vs.command_age(TimePoint::from_seconds(1.25)).value(), 0.25, 1e-9);
 }
 
 TEST(VehicleSubsystem, PhysicsAdvancesScenario) {
@@ -68,8 +68,8 @@ TEST(VehicleSubsystem, PhysicsAdvancesScenario) {
   cmd.sequence = 1;
   cmd.control.throttle = 0.5;
   vs.on_command(cmd, TimePoint{});
-  for (int i = 0; i < 500; ++i) vs.step_physics(0.01);
-  EXPECT_GT(vs.runtime().ego_s(), 10.0);
+  for (int i = 0; i < 500; ++i) vs.step_physics(units::Seconds{0.01});
+  EXPECT_GT(vs.runtime().ego_position(), units::Meters{10.0});
   EXPECT_FALSE(vs.runtime().complete());
 }
 
@@ -77,7 +77,7 @@ TEST(SafetyMonitor, EngagesOnStaleCommandsAndBrakes) {
   RdsConfig cfg;
   SafetyMonitorConfig safety;
   safety.enabled = true;
-  safety.max_command_age_s = 0.3;
+  safety.max_command_age = units::Seconds{0.3};
   VehicleSubsystem vs{cfg, sim::make_following_scenario(), safety};
   // Get the vehicle moving with a fresh command.
   CommandMsg cmd;
@@ -85,28 +85,28 @@ TEST(SafetyMonitor, EngagesOnStaleCommandsAndBrakes) {
   cmd.control.throttle = 0.8;
   cmd.sent_at_us = 0;
   vs.on_command(cmd, TimePoint{});
-  for (int i = 0; i < 300; ++i) vs.step_physics(0.01);  // 3 s, no new commands
+  for (int i = 0; i < 300; ++i) vs.step_physics(units::Seconds{0.01});  // 3 s, no new commands
   // Command age is now 3 s > 0.3 s: the monitor must be braking the car.
   EXPECT_TRUE(vs.safety_engaged());
   EXPECT_GE(vs.safety_activations(), 1u);
   const double speed_at_engage = vs.world().ego().vehicle().forward_speed();
-  for (int i = 0; i < 300; ++i) vs.step_physics(0.01);
+  for (int i = 0; i < 300; ++i) vs.step_physics(units::Seconds{0.01});
   EXPECT_LT(vs.world().ego().vehicle().forward_speed(),
-            std::max(speed_at_engage - 2.0, safety.speed_cap_mps + 0.5));
+            std::max(speed_at_engage - 2.0, safety.speed_cap.value() + 0.5));
 }
 
 TEST(SafetyMonitor, DisengagesWhenCommandsResume) {
   RdsConfig cfg;
   SafetyMonitorConfig safety;
   safety.enabled = true;
-  safety.max_command_age_s = 0.3;
+  safety.max_command_age = units::Seconds{0.3};
   VehicleSubsystem vs{cfg, sim::make_following_scenario(), safety};
   CommandMsg cmd;
   cmd.sequence = 1;
   cmd.control.throttle = 0.8;
   cmd.sent_at_us = 0;
   vs.on_command(cmd, TimePoint{});
-  for (int i = 0; i < 400; ++i) vs.step_physics(0.01);
+  for (int i = 0; i < 400; ++i) vs.step_physics(units::Seconds{0.01});
   ASSERT_TRUE(vs.safety_engaged());
   // Fresh commands resume; once slow enough, the monitor lets go.
   for (int i = 0; i < 600; ++i) {
@@ -115,7 +115,7 @@ TEST(SafetyMonitor, DisengagesWhenCommandsResume) {
     fresh.control.throttle = 0.2;
     fresh.sent_at_us = vs.world().now().count_micros();
     vs.on_command(fresh, vs.world().now());
-    vs.step_physics(0.01);
+    vs.step_physics(units::Seconds{0.01});
   }
   EXPECT_FALSE(vs.safety_engaged());
 }
@@ -128,7 +128,7 @@ TEST(SafetyMonitor, DisabledByDefault) {
   cmd.control.throttle = 0.8;
   cmd.sent_at_us = 0;
   vs.on_command(cmd, TimePoint{});
-  for (int i = 0; i < 500; ++i) vs.step_physics(0.01);
+  for (int i = 0; i < 500; ++i) vs.step_physics(units::Seconds{0.01});
   EXPECT_FALSE(vs.safety_engaged());
   EXPECT_EQ(vs.safety_activations(), 0u);
   EXPECT_GT(vs.world().ego().vehicle().forward_speed(), 5.0);

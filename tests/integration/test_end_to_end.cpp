@@ -79,9 +79,10 @@ TEST(EndToEnd, HeavyLossRaisesSrr) {
 TEST(EndToEnd, ManoeuvresTakeLongerUnderFaults) {
   // Fig. 4: the same slalom takes visibly longer in the faulty run.
   const auto golden_time =
-      metrics::traversal_time(runs().golden.trace, 600.0, 840.0);
+      metrics::traversal_time(runs().golden.trace, units::Meters{600.0}, units::Meters{840.0});
   const auto faulty_time =
-      metrics::traversal_time(runs().heavy_loss.trace, 600.0, 840.0);
+      metrics::traversal_time(runs().heavy_loss.trace, units::Meters{600.0},
+                              units::Meters{840.0});
   ASSERT_TRUE(golden_time.has_value());
   if (faulty_time) {
     EXPECT_GT(*faulty_time, *golden_time * 1.05);
@@ -93,9 +94,9 @@ TEST(EndToEnd, TtcComputableOnFollowingLegs) {
   const auto series = ttc.series(runs().golden.trace);
   EXPECT_GT(series.size(), 100u);
   const auto stats = ttc.summarize(series);
-  EXPECT_GT(stats.min, 0.0);
-  EXPECT_LT(stats.min, 8.0);   // close-ish following happens
-  EXPECT_GT(stats.max, 15.0);  // and relaxed following too
+  EXPECT_GT(stats.min, units::Seconds{0.0});
+  EXPECT_LT(stats.min, units::Seconds{8.0});   // close-ish following happens
+  EXPECT_GT(stats.max, units::Seconds{15.0});  // and relaxed following too
 }
 
 TEST(EndToEnd, LaneInvasionsRecordedDuringSlalom) {

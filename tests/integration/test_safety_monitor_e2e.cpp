@@ -16,7 +16,7 @@ RunResult run_following_with(net::FaultSpec fault, bool monitor) {
   rc.seed = 606;
   rc.fault_injected = true;
   rc.safety.enabled = monitor;
-  rc.safety.max_command_age_s = 0.25;
+  rc.safety.max_command_age = units::Seconds{0.25};
   const auto scenario = sim::make_following_scenario();
   for (const auto& poi : scenario.pois) rc.plan.push_back({poi.name, fault});
   TeleopSession session{std::move(rc), scenario};
@@ -36,7 +36,7 @@ TEST(SafetyMonitorE2E, NeverEngagesOnCleanLink) {
   rc.driver = make_roster()[4].driver;
   rc.seed = 505;
   rc.safety.enabled = true;
-  rc.safety.max_command_age_s = 0.25;
+  rc.safety.max_command_age = units::Seconds{0.25};
   TeleopSession session{std::move(rc), sim::make_following_scenario()};
   const auto r = session.run();
   EXPECT_EQ(r.safety_activations, 0u);

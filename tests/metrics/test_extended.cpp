@@ -38,9 +38,9 @@ TEST(Sdlp, MeasuresLateralWander) {
   ASSERT_TRUE(tight.valid());
   ASSERT_TRUE(sloppy.valid());
   // SDLP of a sine of amplitude A is A/sqrt(2).
-  EXPECT_NEAR(tight.sdlp_m, 0.1 / std::numbers::sqrt2, 0.03);
-  EXPECT_NEAR(sloppy.sdlp_m, 0.6 / std::numbers::sqrt2, 0.08);
-  EXPECT_GT(sloppy.mean_abs_offset_m, tight.mean_abs_offset_m);
+  EXPECT_NEAR(tight.sdlp.value(), 0.1 / std::numbers::sqrt2, 0.03);
+  EXPECT_NEAR(sloppy.sdlp.value(), 0.6 / std::numbers::sqrt2, 0.08);
+  EXPECT_GT(sloppy.mean_abs_offset, tight.mean_abs_offset);
 }
 
 TEST(Sdlp, EmptyTraceInvalid) {
@@ -114,8 +114,8 @@ TEST(BrakeReactions, MeasuresResponseDelay) {
   }
   const auto reactions = brake_reactions(t);
   ASSERT_EQ(reactions.size(), 1u);
-  EXPECT_NEAR(reactions[0].lead_onset_t, 5.0, 0.2);
-  EXPECT_NEAR(reactions[0].reaction_s, 0.8, 0.25);
+  EXPECT_NEAR(reactions[0].lead_onset.value(), 5.0, 0.2);
+  EXPECT_NEAR(reactions[0].reaction.value(), 0.8, 0.25);
 }
 
 TEST(BrakeReactions, IgnoresNonLeadActorsAndGentleSlowing) {
@@ -169,8 +169,8 @@ TEST(HeadwayDistribution, FractionsAndMedian) {
   ASSERT_TRUE(dist.valid());
   EXPECT_NEAR(dist.below_2s, 0.5, 0.05);
   EXPECT_DOUBLE_EQ(dist.below_1s, 0.0);
-  EXPECT_GT(dist.median_s, 1.2);
-  EXPECT_LT(dist.median_s, 3.2);
+  EXPECT_GT(dist.median, units::Seconds{1.2});
+  EXPECT_LT(dist.median, units::Seconds{3.2});
 }
 
 }  // namespace

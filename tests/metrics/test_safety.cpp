@@ -86,17 +86,20 @@ TEST(Headway, ComputesTimeGap) {
   }
   const auto h = analyze_headway(t);
   ASSERT_TRUE(h.valid());
-  EXPECT_NEAR(h.avg, 2.0, 0.05);
+  EXPECT_NEAR(h.avg.value(), 2.0, 0.05);
   EXPECT_LT(h.below_2s_fraction, 0.6);
 }
 
 TEST(TimeExposedTtc, SumsViolationTime) {
   std::vector<TtcSample> series;
   for (int i = 0; i < 100; ++i) {
-    series.push_back({i * 0.05, i < 40 ? 3.0 : 10.0, 30.0, 2});
+    series.push_back({units::Seconds{i * 0.05}, units::Seconds{i < 40 ? 3.0 : 10.0},
+                      units::Meters{30.0}, 2});
   }
-  EXPECT_NEAR(time_exposed_ttc(series, 6.0, 0.05), 2.0, 1e-9);
-  EXPECT_DOUBLE_EQ(time_exposed_ttc(series, 1.0, 0.05), 0.0);
+  EXPECT_NEAR(time_exposed_ttc(series, units::Seconds{6.0}, units::Seconds{0.05}).value(),
+              2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      time_exposed_ttc(series, units::Seconds{1.0}, units::Seconds{0.05}).value(), 0.0);
 }
 
 TEST(DrivingStats, AggregatesChannels) {
@@ -128,8 +131,8 @@ TEST(DrivingStats, WindowRestricts) {
     e.vx = i <= 100 ? 5.0 : 15.0;
     t.ego.push_back(e);
   }
-  EXPECT_NEAR(analyze_driving(t, 0.0, 5.0).speed.mean(), 5.0, 0.1);
-  EXPECT_NEAR(analyze_driving(t, 5.05, 10.1).speed.mean(), 15.0, 0.1);
+  EXPECT_NEAR(analyze_driving(t, units::Seconds{0.0}, units::Seconds{5.0}).speed.mean(), 5.0, 0.1);
+  EXPECT_NEAR(analyze_driving(t, units::Seconds{5.05}, units::Seconds{10.1}).speed.mean(), 15.0, 0.1);
 }
 
 TEST(TraversalTime, MeasuresSegmentDuration) {
@@ -142,15 +145,15 @@ TEST(TraversalTime, MeasuresSegmentDuration) {
     t.ego.push_back(e);
   }
   // Distance 50..100 m at 10 m/s takes 5 s.
-  auto fast = traversal_time(t, 50.0, 100.0);
+  auto fast = traversal_time(t, units::Meters{50.0}, units::Meters{100.0});
   ASSERT_TRUE(fast.has_value());
-  EXPECT_NEAR(*fast, 5.0, 0.2);
+  EXPECT_NEAR(fast->value(), 5.0, 0.2);
   // Distance 100..130 m at 5 m/s takes 6 s.
-  auto slow = traversal_time(t, 100.0, 130.0);
+  auto slow = traversal_time(t, units::Meters{100.0}, units::Meters{130.0});
   ASSERT_TRUE(slow.has_value());
-  EXPECT_NEAR(*slow, 6.0, 0.3);
-  EXPECT_FALSE(traversal_time(t, 100.0, 5000.0).has_value());
-  EXPECT_FALSE(traversal_time(t, 50.0, 40.0).has_value());
+  EXPECT_NEAR(slow->value(), 6.0, 0.3);
+  EXPECT_FALSE(traversal_time(t, units::Meters{100.0}, units::Meters{5000.0}).has_value());
+  EXPECT_FALSE(traversal_time(t, units::Meters{50.0}, units::Meters{40.0}).has_value());
 }
 
 }  // namespace

@@ -121,8 +121,8 @@ TEST(Srr, AnalyzeWindowExtractsSubRange) {
     run.ego.push_back(e);
   }
   SrrAnalyzer analyzer;
-  const auto quiet = analyzer.analyze_window(run, 0.0, 30.0);
-  const auto busy = analyzer.analyze_window(run, 30.0, 60.0);
+  const auto quiet = analyzer.analyze_window(run, units::Seconds{0.0}, units::Seconds{30.0});
+  const auto busy = analyzer.analyze_window(run, units::Seconds{30.0}, units::Seconds{60.0});
   EXPECT_EQ(quiet.reversals, 0u);
   EXPECT_NEAR(busy.rate_per_min, 30.0, 4.0);  // 2 * 0.25 Hz * 60
 }

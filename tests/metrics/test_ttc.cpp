@@ -36,7 +36,7 @@ TEST(Ttc, AnalyticTwoCarValue) {
   TtcAnalyzer analyzer;
   const auto series = analyzer.series(run);
   ASSERT_FALSE(series.empty());
-  EXPECT_NEAR(series.front().ttc, (50.0 - 4.6) / 5.0, 0.05);
+  EXPECT_NEAR(series.front().ttc.value(), (50.0 - 4.6) / 5.0, 0.05);
   EXPECT_LT(series.back().ttc, series.front().ttc);
   EXPECT_EQ(series.front().lead, 2u);
 }
@@ -95,7 +95,7 @@ TEST(Ttc, SummaryStatistics) {
   const auto series = analyzer.series(run);
   const auto stats = analyzer.summarize(series);
   ASSERT_TRUE(stats.valid());
-  EXPECT_NEAR(stats.max, (60.0 - 4.6) / 5.0, 0.1);
+  EXPECT_NEAR(stats.max.value(), (60.0 - 4.6) / 5.0, 0.1);
   EXPECT_LT(stats.min, stats.avg);
   EXPECT_LT(stats.avg, stats.max);
   // TTC drops below 6 s once the gap falls under 34.6 m, i.e. after ~5 s.
@@ -106,12 +106,12 @@ TEST(Ttc, WindowedSummary) {
   const auto run = two_car_trace(15.0, 10.0, 60.0, 8.0);
   TtcAnalyzer analyzer;
   const auto series = analyzer.series(run);
-  const auto early = analyzer.summarize_window(series, 0.0, 2.0);
-  const auto late = analyzer.summarize_window(series, 6.0, 8.0);
+  const auto early = analyzer.summarize_window(series, units::Seconds{0.0}, units::Seconds{2.0});
+  const auto late = analyzer.summarize_window(series, units::Seconds{6.0}, units::Seconds{8.0});
   ASSERT_TRUE(early.valid());
   ASSERT_TRUE(late.valid());
   EXPECT_GT(early.avg, late.avg);  // the gap shrinks over time
-  const auto none = analyzer.summarize_window(series, 100.0, 200.0);
+  const auto none = analyzer.summarize_window(series, units::Seconds{100.0}, units::Seconds{200.0});
   EXPECT_FALSE(none.valid());
 }
 

@@ -49,7 +49,7 @@ TEST(Channel, TracksLatencyStats) {
   const auto& stats = ch.stats(LinkDirection::kDownlink);
   EXPECT_EQ(stats.packets_sent, 1u);
   EXPECT_EQ(stats.packets_delivered, 1u);
-  EXPECT_NEAR(stats.mean_latency_ms(), 10.0, 1e-9);
+  EXPECT_NEAR(stats.mean_latency().value(), 10.0, 1e-9);
 }
 
 TEST(Channel, InFlightCountsQueuedPackets) {
@@ -128,7 +128,7 @@ TEST(PacketRouter, DropsCorruptedPacketsLikeTcpChecksum) {
 
 TEST(Tbf, EnforcesSustainedRate) {
   TbfConfig cfg;
-  cfg.rate_bytes_per_s = 1000.0;
+  cfg.rate = units::BytesPerSecond{1000.0};
   cfg.burst_bytes = 100.0;
   TbfQdisc q{cfg};
   // 10 packets of 100 bytes = 1000 bytes; at 1000 B/s it takes ~0.9 s after
@@ -151,7 +151,7 @@ TEST(Tbf, EnforcesSustainedRate) {
 
 TEST(Tbf, BurstAllowsInitialSpike) {
   TbfConfig cfg;
-  cfg.rate_bytes_per_s = 100.0;
+  cfg.rate = units::BytesPerSecond{100.0};
   cfg.burst_bytes = 1000.0;
   TbfQdisc q{cfg};
   for (std::uint64_t i = 0; i < 10; ++i) {

@@ -26,7 +26,7 @@ TEST(FaultSpec, ConfigRoundTrip) {
   const auto cfg = FaultSpec{FaultKind::kDelay, 25.0}.to_config();
   EXPECT_EQ(cfg.delay, Duration::millis(25));
   const auto loss = FaultSpec{FaultKind::kPacketLoss, 0.02}.to_config();
-  EXPECT_DOUBLE_EQ(loss.loss_probability, 0.02);
+  EXPECT_DOUBLE_EQ(loss.loss_probability.value(), 0.02);
 }
 
 TEST(PaperFaultModel, HasTheFivePaperFaults) {
@@ -63,7 +63,7 @@ TEST(FaultInjector, InjectReplacesActiveFault) {
   inj.inject({FaultKind::kDelay, 5.0}, TimePoint{});
   inj.inject({FaultKind::kPacketLoss, 0.05}, TimePoint::from_seconds(1.0));
   EXPECT_EQ(inj.active_fault()->kind, FaultKind::kPacketLoss);
-  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability.value(), 0.05);
   EXPECT_EQ(inj.injections(), 2u);
   // Log shows: add(5ms), delete(5ms), add(5%).
   ASSERT_EQ(inj.log().size(), 3u);

@@ -40,10 +40,12 @@ TEST(NetemDescribe, RoundTripsThroughParser) {
     const NetemConfig reparsed = parse_netem(original.describe());
     EXPECT_EQ(reparsed.delay, original.delay) << spec;
     EXPECT_EQ(reparsed.jitter, original.jitter) << spec;
-    EXPECT_DOUBLE_EQ(reparsed.loss_probability, original.loss_probability) << spec;
-    EXPECT_DOUBLE_EQ(reparsed.duplicate_probability, original.duplicate_probability)
+    EXPECT_DOUBLE_EQ(reparsed.loss_probability.value(), original.loss_probability.value()) << spec;
+    EXPECT_DOUBLE_EQ(reparsed.duplicate_probability.value(),
+                     original.duplicate_probability.value())
         << spec;
-    EXPECT_DOUBLE_EQ(reparsed.corrupt_probability, original.corrupt_probability)
+    EXPECT_DOUBLE_EQ(reparsed.corrupt_probability.value(),
+                     original.corrupt_probability.value())
         << spec;
     EXPECT_EQ(reparsed.distribution, original.distribution) << spec;
   }

@@ -1,6 +1,7 @@
 // Semantics of the NETEM queueing-discipline reimplementation.
 #include <gtest/gtest.h>
 
+#include "check/contracts.hpp"
 #include "net/netem.hpp"
 
 namespace rdsim::net {
@@ -78,7 +79,7 @@ TEST(Netem, JitterStaysWithinBounds) {
 
 TEST(Netem, LossRateApproximatesConfiguration) {
   NetemConfig cfg;
-  cfg.loss_probability = 0.2;
+  cfg.loss_probability = units::Probability{0.2};
   NetemQdisc q{cfg, 7};
   const int n = 20000;
   for (int i = 0; i < n; ++i) q.enqueue(make_packet(static_cast<std::uint64_t>(i)), TimePoint{});
@@ -97,8 +98,8 @@ TEST(Netem, ZeroLossDropsNothing) {
 
 TEST(Netem, CorrelatedLossClustersBursts) {
   NetemConfig cfg;
-  cfg.loss_probability = 0.2;
-  cfg.loss_correlation = 0.9;
+  cfg.loss_probability = units::Probability{0.2};
+  cfg.loss_correlation = units::Probability{0.9};
   NetemQdisc q{cfg, 11};
   int transitions = 0;
   bool prev_dropped = false;
@@ -121,10 +122,10 @@ TEST(Netem, CorrelatedLossClustersBursts) {
 TEST(Netem, GilbertElliottProducesBurstyLoss) {
   NetemConfig cfg;
   GilbertElliott ge;
-  ge.p = 0.02;  // rarely enter the bad state
-  ge.r = 0.2;   // stay there for ~5 packets
-  ge.h = 0.0;   // lossless when good
-  ge.k = 1.0;   // everything lost when bad
+  ge.p = units::Probability{0.02};  // rarely enter the bad state
+  ge.r = units::Probability{0.2};  // stay there for ~5 packets
+  ge.h = units::Probability{0.0};  // lossless when good
+  ge.k = units::Probability{1.0};  // everything lost when bad
   cfg.gemodel = ge;
   NetemQdisc q{cfg, 5};
   const int n = 50000;
@@ -136,7 +137,7 @@ TEST(Netem, GilbertElliottProducesBurstyLoss) {
 
 TEST(Netem, DuplicationCreatesCopies) {
   NetemConfig cfg;
-  cfg.duplicate_probability = 0.5;
+  cfg.duplicate_probability = units::Probability{0.5};
   cfg.limit = 10000;
   NetemQdisc q{cfg, 13};
   const int n = 2000;
@@ -153,7 +154,7 @@ TEST(Netem, DuplicationCreatesCopies) {
 
 TEST(Netem, CorruptionFlipsExactlyOneBit) {
   NetemConfig cfg;
-  cfg.corrupt_probability = 1.0;
+  cfg.corrupt_probability = units::Probability{1.0};
   NetemQdisc q{cfg, 17};
   Packet p = make_packet(1, 64);
   const Payload original = p.payload;
@@ -175,7 +176,7 @@ TEST(Netem, CorruptionFlipsExactlyOneBit) {
 TEST(Netem, ReorderSendsSelectedPacketsImmediately) {
   NetemConfig cfg;
   cfg.delay = Duration::millis(100);
-  cfg.reorder_probability = 1.0;
+  cfg.reorder_probability = units::Probability{1.0};
   cfg.reorder_gap = 5;  // every 5th packet jumps the queue
   NetemQdisc q{cfg, 19};
   for (std::uint64_t i = 1; i <= 10; ++i) q.enqueue(make_packet(i), TimePoint{});
@@ -189,7 +190,7 @@ TEST(Netem, ReorderSendsSelectedPacketsImmediately) {
 
 TEST(Netem, RateControlSpacesPackets) {
   NetemConfig cfg;
-  cfg.rate_bytes_per_s = 1000.0;  // 1 KB/s; 100-byte packet = 100 ms each
+  cfg.rate = units::BytesPerSecond{1000.0};  // 1 KB/s; 100-byte packet = 100 ms each
   NetemQdisc q{cfg, 23};
   for (std::uint64_t i = 0; i < 3; ++i) q.enqueue(make_packet(i, 100), TimePoint{});
   EXPECT_EQ(q.dequeue_ready(TimePoint::from_micros(99000)).size(), 0u);
@@ -227,7 +228,7 @@ TEST(Netem, ChangeKeepsQueuedReleaseTimes) {
 
 TEST(Netem, DeterministicForSameSeed) {
   NetemConfig cfg;
-  cfg.loss_probability = 0.3;
+  cfg.loss_probability = units::Probability{0.3};
   cfg.delay = Duration::millis(10);
   cfg.jitter = Duration::millis(5);
   NetemQdisc q1{cfg, 99};
@@ -248,7 +249,7 @@ TEST(Netem, DescribeRendersConfiguration) {
   cfg.delay = Duration::millis(50);
   EXPECT_EQ(cfg.describe(), "netem delay 50ms");
   NetemConfig loss;
-  loss.loss_probability = 0.05;
+  loss.loss_probability = units::Probability{0.05};
   EXPECT_EQ(loss.describe(), "netem loss 5%");
 }
 
@@ -312,6 +313,32 @@ TEST(Netem, TableDistributionWithoutTableThrows) {
   NetemConfig cfg;
   cfg.distribution = DelayDistribution::kTable;
   EXPECT_THROW(NetemQdisc(cfg, 1), std::invalid_argument);
+}
+
+// Every probability/correlation knob on NetemConfig is a units::Probability:
+// an out-of-range value is rejected when the field is built, not when a
+// packet eventually rolls the bad dice mid-campaign.
+TEST(NetemConfig, OutOfRangeProbabilityRejectedAtConstruction) {
+  const auto saved = check::Registry::instance().policy();
+  check::Registry::instance().set_policy(check::Policy::kThrow);
+  NetemConfig cfg;
+  EXPECT_THROW(cfg.loss_probability = units::Probability{1.5},
+               check::ContractViolation);
+  EXPECT_THROW(cfg.loss_correlation = units::Probability{-0.25},
+               check::ContractViolation);
+  EXPECT_THROW(cfg.duplicate_probability = units::Probability{2.0},
+               check::ContractViolation);
+  EXPECT_THROW(cfg.corrupt_probability = units::Probability{1.01},
+               check::ContractViolation);
+  EXPECT_THROW(cfg.reorder_correlation = units::Probability{-1e-9},
+               check::ContractViolation);
+  GilbertElliott ge;
+  EXPECT_THROW(ge.p = units::Probability{1.5}, check::ContractViolation);
+  EXPECT_THROW(ge.k = units::Probability{100.0}, check::ContractViolation);
+  // In-range assignments still work, including the boundaries.
+  cfg.loss_probability = units::Probability{0.0};
+  cfg.delay_correlation = units::Probability{1.0};
+  check::Registry::instance().set_policy(saved);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ class LossRateProperty : public ::testing::TestWithParam<double> {};
 TEST_P(LossRateProperty, EmpiricalRateMatchesConfigured) {
   const double p = GetParam();
   NetemConfig cfg;
-  cfg.loss_probability = p;
+  cfg.loss_probability = units::Probability{p};
   cfg.limit = 100000;
   NetemQdisc q{cfg, 1234};
   const int n = 40000;
@@ -67,8 +67,8 @@ class CorrelatedLossProperty : public ::testing::TestWithParam<double> {};
 TEST_P(CorrelatedLossProperty, MarginalRatePreservedAtAnyCorrelation) {
   const double rho = GetParam();
   NetemConfig cfg;
-  cfg.loss_probability = 0.1;
-  cfg.loss_correlation = rho;
+  cfg.loss_probability = units::Probability{0.1};
+  cfg.loss_correlation = units::Probability{rho};
   cfg.limit = 100000;
   NetemQdisc q{cfg, 99};
   const int n = 60000;
@@ -91,7 +91,7 @@ class RateControlProperty : public ::testing::TestWithParam<double> {};
 TEST_P(RateControlProperty, ThroughputMatchesConfiguredRate) {
   const double rate = GetParam();  // bytes per second
   NetemConfig cfg;
-  cfg.rate_bytes_per_s = rate;
+  cfg.rate = units::BytesPerSecond{rate};
   cfg.limit = 100000;
   NetemQdisc q{cfg, 3};
   const int n = 500;
@@ -120,10 +120,10 @@ TEST_P(GeModelProperty, StationaryLossMatchesTheory) {
   const auto [p, r] = GetParam();
   NetemConfig cfg;
   GilbertElliott ge;
-  ge.p = p;
-  ge.r = r;
-  ge.h = 0.0;
-  ge.k = 1.0;
+  ge.p = units::Probability{p};
+  ge.r = units::Probability{r};
+  ge.h = units::Probability{0.0};
+  ge.k = units::Probability{1.0};
   cfg.gemodel = ge;
   cfg.limit = 200000;
   NetemQdisc q{cfg, 321};
@@ -189,7 +189,7 @@ TEST_P(PaperLossConvergence, EmpiricalRateWithinBandForEverySeed) {
   // to the configured rate for any RNG seed, not just a lucky one.
   const auto [p, seed] = GetParam();
   NetemConfig cfg;
-  cfg.loss_probability = p;
+  cfg.loss_probability = units::Probability{p};
   cfg.limit = 200000;
   NetemQdisc q{cfg, seed};
   const int n = 50000;
@@ -227,10 +227,10 @@ TEST(GeModelOccupancy, MatchesStationaryDistributionWithPartialLossRates) {
   for (const auto& regime : regimes) {
     NetemConfig cfg;
     GilbertElliott ge;
-    ge.p = p;
-    ge.r = r;
-    ge.h = regime.h;
-    ge.k = regime.k;
+    ge.p = units::Probability{p};
+    ge.r = units::Probability{r};
+    ge.h = units::Probability{regime.h};
+    ge.k = units::Probability{regime.k};
     cfg.gemodel = ge;
     cfg.limit = 300000;
     NetemQdisc q{cfg, 4242};

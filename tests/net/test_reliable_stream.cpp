@@ -191,7 +191,7 @@ TEST_F(StreamFixture, SrttTracksPathDelay) {
     run_for(Duration::millis(60));
     stream.pop_delivered();
   }
-  EXPECT_NEAR(stream.stats().srtt_ms, 40.0, 10.0);  // both directions delayed
+  EXPECT_NEAR(stream.stats().srtt.value(), 40.0, 10.0);  // both directions delayed
 }
 
 TEST_F(StreamFixture, BidirectionalFaultHitsAcks) {
@@ -200,7 +200,7 @@ TEST_F(StreamFixture, BidirectionalFaultHitsAcks) {
   tc.add("lo", parse_netem("delay 100ms"));
   stream.send_message({1}, 100, now);
   run_for(Duration::millis(500));
-  EXPECT_GE(stream.stats().srtt_ms, 190.0);
+  EXPECT_GE(stream.stats().srtt.value(), 190.0);
 }
 
 }  // namespace

@@ -19,22 +19,51 @@ TEST(ParseDuration, Units) {
 }
 
 TEST(ParsePercent, Forms) {
-  EXPECT_DOUBLE_EQ(parse_percent("5%"), 0.05);
-  EXPECT_DOUBLE_EQ(parse_percent("2.5%"), 0.025);
-  EXPECT_DOUBLE_EQ(parse_percent("0.05"), 0.05);  // bare fraction
-  EXPECT_DOUBLE_EQ(parse_percent("100%"), 1.0);
+  EXPECT_DOUBLE_EQ(parse_percent("5%").value(), 0.05);
+  EXPECT_DOUBLE_EQ(parse_percent("2.5%").value(), 0.025);
+  EXPECT_DOUBLE_EQ(parse_percent("0.05").value(), 0.05);  // bare fraction
+  EXPECT_DOUBLE_EQ(parse_percent("100%").value(), 1.0);
   EXPECT_THROW(parse_percent("150%"), TcParseError);
   EXPECT_THROW(parse_percent("-1%"), TcParseError);
   EXPECT_THROW(parse_percent("5pc"), TcParseError);
 }
 
 TEST(ParseRate, Units) {
-  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("1mbit"), 125000.0);
-  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("8kbit"), 1000.0);
-  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("1gbit"), 125000000.0);
-  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("500bps"), 500.0);
-  EXPECT_DOUBLE_EQ(parse_rate_bytes_per_s("2kbps"), 2000.0);
-  EXPECT_THROW(parse_rate_bytes_per_s("1lightyear"), TcParseError);
+  EXPECT_DOUBLE_EQ(parse_rate("1mbit").value(), 125000.0);
+  EXPECT_DOUBLE_EQ(parse_rate("8kbit").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_rate("1gbit").value(), 125000000.0);
+  EXPECT_DOUBLE_EQ(parse_rate("500bps").value(), 500.0);
+  EXPECT_DOUBLE_EQ(parse_rate("2kbps").value(), 2000.0);
+  EXPECT_THROW(parse_rate("1lightyear"), TcParseError);
+}
+
+// Every rate suffix tc accepts round-trips: the parsed value matches the
+// corresponding units::BytesPerSecond constructor, and converting back to
+// the suffix's own unit reproduces the input numeral.
+TEST(ParseRate, RoundTripEverySuffix) {
+  EXPECT_EQ(parse_rate("320bit"), units::BytesPerSecond::from_bit(320.0));
+  EXPECT_DOUBLE_EQ(parse_rate("320bit").to_bit(), 320.0);
+
+  EXPECT_EQ(parse_rate("7kbit"), units::BytesPerSecond::from_kbit(7.0));
+  EXPECT_DOUBLE_EQ(parse_rate("7kbit").to_kbit(), 7.0);
+
+  EXPECT_EQ(parse_rate("3mbit"), units::BytesPerSecond::from_mbit(3.0));
+  EXPECT_DOUBLE_EQ(parse_rate("3mbit").to_bit(), 3e6);
+
+  EXPECT_EQ(parse_rate("2gbit"), units::BytesPerSecond::from_gbit(2.0));
+  EXPECT_DOUBLE_EQ(parse_rate("2gbit").to_bit(), 2e9);
+
+  EXPECT_EQ(parse_rate("640bps"), units::BytesPerSecond::from_bps(640.0));
+  EXPECT_DOUBLE_EQ(parse_rate("640bps").value(), 640.0);
+
+  EXPECT_EQ(parse_rate("5kbps"), units::BytesPerSecond::from_kbps(5.0));
+  EXPECT_DOUBLE_EQ(parse_rate("5kbps").value(), 5000.0);
+
+  EXPECT_EQ(parse_rate("4mbps"), units::BytesPerSecond::from_mbps(4.0));
+  EXPECT_DOUBLE_EQ(parse_rate("4mbps").value(), 4e6);
+
+  // Bare numbers are bytes per second, tc style.
+  EXPECT_EQ(parse_rate("1500"), units::BytesPerSecond{1500.0});
 }
 
 TEST(ParseNetem, DelayOnly) {
@@ -48,7 +77,7 @@ TEST(ParseNetem, DelayWithJitterAndCorrelation) {
   const auto cfg = parse_netem("delay 100ms 10ms 25%");
   EXPECT_EQ(cfg.delay, Duration::millis(100));
   EXPECT_EQ(cfg.jitter, Duration::millis(10));
-  EXPECT_DOUBLE_EQ(cfg.delay_correlation, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.delay_correlation.value(), 0.25);
 }
 
 TEST(ParseNetem, Distribution) {
@@ -63,16 +92,16 @@ TEST(ParseNetem, Distribution) {
 
 TEST(ParseNetem, Loss) {
   const auto cfg = parse_netem("loss 5%");
-  EXPECT_DOUBLE_EQ(cfg.loss_probability, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.loss_probability.value(), 0.05);
   const auto corr = parse_netem("loss 5% 25%");
-  EXPECT_DOUBLE_EQ(corr.loss_correlation, 0.25);
+  EXPECT_DOUBLE_EQ(corr.loss_correlation.value(), 0.25);
 }
 
 TEST(ParseNetem, LossGemodel) {
   const auto cfg = parse_netem("loss gemodel 1% 10%");
   ASSERT_TRUE(cfg.gemodel.has_value());
-  EXPECT_DOUBLE_EQ(cfg.gemodel->p, 0.01);
-  EXPECT_DOUBLE_EQ(cfg.gemodel->r, 0.10);
+  EXPECT_DOUBLE_EQ(cfg.gemodel->p.value(), 0.01);
+  EXPECT_DOUBLE_EQ(cfg.gemodel->r.value(), 0.10);
 }
 
 TEST(ParseNetem, CombinedRule) {
@@ -80,12 +109,12 @@ TEST(ParseNetem, CombinedRule) {
       "delay 50ms 10ms loss 2% duplicate 1% corrupt 0.5% reorder 25% gap 5 "
       "rate 10mbit limit 500");
   EXPECT_EQ(cfg.delay, Duration::millis(50));
-  EXPECT_DOUBLE_EQ(cfg.loss_probability, 0.02);
-  EXPECT_DOUBLE_EQ(cfg.duplicate_probability, 0.01);
-  EXPECT_DOUBLE_EQ(cfg.corrupt_probability, 0.005);
-  EXPECT_DOUBLE_EQ(cfg.reorder_probability, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.loss_probability.value(), 0.02);
+  EXPECT_DOUBLE_EQ(cfg.duplicate_probability.value(), 0.01);
+  EXPECT_DOUBLE_EQ(cfg.corrupt_probability.value(), 0.005);
+  EXPECT_DOUBLE_EQ(cfg.reorder_probability.value(), 0.25);
   EXPECT_EQ(cfg.reorder_gap, 5u);
-  EXPECT_DOUBLE_EQ(cfg.rate_bytes_per_s, 1250000.0);
+  EXPECT_DOUBLE_EQ(cfg.rate.value(), 1250000.0);
   EXPECT_EQ(cfg.limit, 500u);
 }
 
@@ -120,7 +149,7 @@ TEST(TrafficControl, ChangeRequiresExistingRule) {
   EXPECT_THROW(tc.change("lo", parse_netem("delay 5ms")), TcParseError);
   tc.add("lo", parse_netem("delay 5ms"));
   tc.change("lo", parse_netem("loss 5%"));
-  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability.value(), 0.05);
 }
 
 TEST(TrafficControl, DelRevertsToPfifoAndDropsQueue) {
@@ -142,7 +171,7 @@ TEST(TrafficControl, ExecuteFullCommandStrings) {
   EXPECT_EQ(tc.execute("tc qdisc add dev lo root netem delay 50ms"), "lo");
   EXPECT_TRUE(tc.has_netem("lo"));
   tc.execute("qdisc change dev lo root netem loss 5%");
-  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability, 0.05);
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability.value(), 0.05);
   tc.execute("tc qdisc del dev lo root");
   EXPECT_FALSE(tc.has_netem("lo"));
 }

@@ -69,7 +69,7 @@ TEST_F(RpcFixture, SpawnControlSnapshotCycle) {
   EXPECT_DOUBLE_EQ(world.find(spawn.actor)->vehicle().control().throttle, 0.8);
 
   // Let physics run, then fetch a snapshot over the wire.
-  for (int i = 0; i < 100; ++i) world.step(0.01);
+  for (int i = 0; i < 100; ++i) world.step(units::Seconds{0.01});
   const auto snap = roundtrip(client.get_snapshot());
   ASSERT_TRUE(snap.ok);
   ASSERT_TRUE(snap.snapshot.has_value());
@@ -108,7 +108,7 @@ TEST_F(RpcFixture, FrameSubscriptionStreams) {
   ASSERT_TRUE(roundtrip(client.subscribe_frames(20.0)).ok);
   int frames = 0;
   for (int i = 0; i < 1000; ++i) {
-    world.step(0.001);
+    world.step(units::Seconds{0.001});
     pump(Duration::millis(1));
     if (client.take_frame()) ++frames;
   }

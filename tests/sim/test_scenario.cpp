@@ -5,26 +5,32 @@
 namespace rdsim::sim {
 namespace {
 
+using units::Meters;
+using units::MetersPerSecond;
+using units::Seconds;
+
 TEST(Scenario, InstructionLookupPicksContainingWindow) {
   Scenario sc;
   sc.ego_start_lane = 0;
-  sc.instructions.push_back({0.0, 100.0, 0, 10.0, 0.0, "a"});
-  sc.instructions.push_back({100.0, 200.0, 1, 8.0, 0.5, "b"});
-  EXPECT_EQ(sc.instruction_at(50.0).target_lane, 0);
-  EXPECT_EQ(sc.instruction_at(150.0).target_lane, 1);
-  EXPECT_DOUBLE_EQ(sc.instruction_at(150.0).lateral_bias, 0.5);
+  sc.instructions.push_back(
+      {Meters{0.0}, Meters{100.0}, 0, MetersPerSecond{10.0}, Meters{0.0}, "a"});
+  sc.instructions.push_back(
+      {Meters{100.0}, Meters{200.0}, 1, MetersPerSecond{8.0}, Meters{0.5}, "b"});
+  EXPECT_EQ(sc.instruction_at(Meters{50.0}).target_lane, 0);
+  EXPECT_EQ(sc.instruction_at(Meters{150.0}).target_lane, 1);
+  EXPECT_DOUBLE_EQ(sc.instruction_at(Meters{150.0}).lateral_bias.value(), 0.5);
   // Outside all windows: defaults to the starting lane at 10 m/s.
-  EXPECT_EQ(sc.instruction_at(500.0).target_lane, 0);
-  EXPECT_DOUBLE_EQ(sc.instruction_at(500.0).target_speed, 10.0);
+  EXPECT_EQ(sc.instruction_at(Meters{500.0}).target_lane, 0);
+  EXPECT_DOUBLE_EQ(sc.instruction_at(Meters{500.0}).target_speed.value(), 10.0);
 }
 
 TEST(Scenario, PoiLookup) {
   Scenario sc;
-  sc.pois.push_back({"x", 10.0, 20.0});
-  EXPECT_TRUE(sc.poi_at(15.0).has_value());
-  EXPECT_EQ(sc.poi_at(15.0)->name, "x");
-  EXPECT_FALSE(sc.poi_at(25.0).has_value());
-  EXPECT_FALSE(sc.poi_at(5.0).has_value());
+  sc.pois.push_back({"x", Meters{10.0}, Meters{20.0}});
+  EXPECT_TRUE(sc.poi_at(Meters{15.0}).has_value());
+  EXPECT_EQ(sc.poi_at(Meters{15.0})->name, "x");
+  EXPECT_FALSE(sc.poi_at(Meters{25.0}).has_value());
+  EXPECT_FALSE(sc.poi_at(Meters{5.0}).has_value());
 }
 
 TEST(ScenarioRuntime, SpawnsEgoAndPopulates) {
@@ -41,16 +47,16 @@ TEST(ScenarioRuntime, SpawnsEgoAndPopulates) {
 TEST(ScenarioRuntime, TriggersFireOnceAtPosition) {
   World world{make_town05_route()};
   Scenario sc;
-  sc.ego_start_s = 0.0;
-  sc.end_s = 400.0;
+  sc.ego_start = Meters{0.0};
+  sc.end = Meters{400.0};
   int fired = 0;
-  sc.triggers.push_back({100.0, "test", [&fired](World&) { ++fired; }});
+  sc.triggers.push_back({Meters{100.0}, "test", [&fired](World&) { ++fired; }});
   ScenarioRuntime runtime{sc, world};
   VehicleControl c;
   c.throttle = 0.8;
   for (int i = 0; i < 3000 && !runtime.complete(); ++i) {
     world.apply_ego_control(c);
-    world.step(0.02);
+    world.step(Seconds{0.02});
     runtime.step();
   }
   EXPECT_EQ(fired, 1);
@@ -60,10 +66,10 @@ TEST(ScenarioRuntime, TriggersFireOnceAtPosition) {
 TEST(ScenarioRuntime, TimeoutDetected) {
   World world{make_town05_route()};
   Scenario sc;
-  sc.end_s = 1000.0;
-  sc.time_limit_s = 1.0;
+  sc.end = Meters{1000.0};
+  sc.time_limit = Seconds{1.0};
   ScenarioRuntime runtime{sc, world};
-  for (int i = 0; i < 60; ++i) world.step(0.02);
+  for (int i = 0; i < 60; ++i) world.step(Seconds{0.02});
   EXPECT_TRUE(runtime.timed_out());
   EXPECT_FALSE(runtime.complete());
 }
@@ -71,20 +77,20 @@ TEST(ScenarioRuntime, TimeoutDetected) {
 TEST(TestRouteScenario, IsWellFormed) {
   const Scenario sc = make_test_route_scenario();
   EXPECT_EQ(sc.name, "test-route");
-  EXPECT_GT(sc.end_s, 2000.0);
+  EXPECT_GT(sc.end, Meters{2000.0});
   EXPECT_GE(sc.pois.size(), 10u);  // enough slots for 10-14 faults per run
   // POIs ordered and inside the route.
   for (std::size_t i = 0; i < sc.pois.size(); ++i) {
-    EXPECT_LT(sc.pois[i].from_s, sc.pois[i].to_s);
-    EXPECT_LE(sc.pois[i].to_s, sc.end_s);
+    EXPECT_LT(sc.pois[i].from, sc.pois[i].to);
+    EXPECT_LE(sc.pois[i].to, sc.end);
     if (i > 0) {
-      EXPECT_GE(sc.pois[i].from_s, sc.pois[i - 1].to_s - 1e-9);
+      EXPECT_GE(sc.pois[i].from.value(), sc.pois[i - 1].to.value() - 1e-9);
     }
   }
-  // Instructions cover the route without gaps up to end_s.
-  for (double s = 0.0; s < sc.end_s; s += 10.0) {
-    const auto instr = sc.instruction_at(s);
-    EXPECT_GE(instr.target_speed, 1.0) << s;
+  // Instructions cover the route without gaps up to the end position.
+  for (double s = 0.0; s < sc.end.value(); s += 10.0) {
+    const auto instr = sc.instruction_at(Meters{s});
+    EXPECT_GE(instr.target_speed, MetersPerSecond{1.0}) << s;
     EXPECT_LT(instr.target_lane, 2) << s;
   }
 }
@@ -93,8 +99,8 @@ TEST(ScenarioLibrary, FocusedScenariosWellFormed) {
   for (const Scenario& sc : {make_following_scenario(), make_slalom_scenario(),
                              make_overtake_scenario(), make_training_scenario()}) {
     EXPECT_FALSE(sc.name.empty());
-    EXPECT_GT(sc.end_s, 100.0);
-    EXPECT_GT(sc.time_limit_s, 30.0);
+    EXPECT_GT(sc.end, Meters{100.0});
+    EXPECT_GT(sc.time_limit, Seconds{30.0});
   }
   // The slalom scenario must actually contain parked vehicles.
   World world{make_town05_route()};
@@ -110,7 +116,7 @@ TEST(TestRouteScenario, FollowingPoisCoverBrakingZone) {
   const Scenario sc = make_test_route_scenario();
   bool covered = false;
   for (const auto& poi : sc.pois) {
-    if (poi.from_s <= 2240.0 && poi.to_s >= 2250.0) covered = true;
+    if (poi.from <= Meters{2240.0} && poi.to >= Meters{2250.0}) covered = true;
   }
   EXPECT_TRUE(covered);
 }
@@ -130,7 +136,7 @@ TEST(PedestrianCrossing, WalkerCrossesWhenTriggered) {
   EXPECT_NEAR(start_lateral, -2.2, 0.1);
   for (int i = 0; i < 6000 && !runtime.complete(); ++i) {
     world.apply_ego_control(c);
-    world.step(0.02);
+    world.step(Seconds{0.02});
     runtime.step();
   }
   // After the run the walker must have crossed to the far kerb.

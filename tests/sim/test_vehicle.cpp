@@ -7,7 +7,7 @@
 namespace rdsim::sim {
 namespace {
 
-constexpr double kDt = 0.01;
+constexpr units::Seconds kDt{0.01};
 
 Vehicle stationary_vehicle() {
   Vehicle v{VehicleParams{}};
@@ -17,7 +17,7 @@ Vehicle stationary_vehicle() {
 }
 
 void run(Vehicle& v, double seconds) {
-  const int steps = static_cast<int>(seconds / kDt);
+  const int steps = static_cast<int>(seconds / kDt.value());
   for (int i = 0; i < steps; ++i) v.step(kDt);
 }
 
@@ -66,7 +66,7 @@ TEST(Vehicle, TopSpeedLimited) {
   c.throttle = 1.0;
   v.apply_control(c);
   run(v, 120.0);
-  EXPECT_LT(v.forward_speed(), v.params().max_speed + 0.5);
+  EXPECT_LT(v.forward_speed(), v.params().max_speed.value() + 0.5);
   EXPECT_GT(v.forward_speed(), 20.0);
 }
 
@@ -94,7 +94,7 @@ TEST(Vehicle, TurningRadiusMatchesBicycleModel) {
   v.apply_control(c);
   run(v, 1.0);  // let the wheel settle
   const double delta = v.steer_angle();
-  const double expected_radius = params.wheelbase / std::tan(delta);
+  const double expected_radius = params.wheelbase.value() / std::tan(delta);
   // Measure the turn radius from yaw rate: R = v / yaw_rate.
   const double h0 = v.state().heading;
   const double speed = v.forward_speed();
@@ -110,7 +110,7 @@ TEST(Vehicle, SteeringRateLimited) {
   v.apply_control(c);
   v.step(kDt);
   const double after_one = v.steer_angle();
-  EXPECT_LE(after_one, util::deg_to_rad(v.params().max_steer_rate_deg) * kDt + 1e-9);
+  EXPECT_LE(after_one, util::deg_to_rad(v.params().max_steer_rate_deg) * kDt.value() + 1e-9);
   run(v, 1.0);
   EXPECT_NEAR(v.steer_angle(), util::deg_to_rad(v.params().max_steer_deg), 1e-6);
 }
@@ -155,16 +155,16 @@ TEST(Vehicle, ZeroDtIsNoOp) {
   VehicleControl c;
   c.throttle = 1.0;
   v.apply_control(c);
-  v.step(0.0);
-  v.step(-1.0);
+  v.step(units::Seconds{0.0});
+  v.step(units::Seconds{-1.0});
   EXPECT_DOUBLE_EQ(v.forward_speed(), 0.0);
 }
 
 TEST(VehicleParams, ScaledModelVehicleIsSmallerAndSlower) {
   const auto m = VehicleParams::scaled_model_vehicle();
   const VehicleParams full;
-  EXPECT_LT(m.wheelbase, full.wheelbase / 4.0);
-  EXPECT_LT(m.max_speed, 10.0);
+  EXPECT_LT(m.wheelbase.value(), full.wheelbase.value() / 4.0);
+  EXPECT_LT(m.max_speed, units::MetersPerSecond{10.0});
   EXPECT_LT(m.bbox.half_length, 0.5);
 }
 

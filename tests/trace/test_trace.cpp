@@ -8,13 +8,15 @@ namespace {
 
 TEST(TraceRecorder, SamplesAtConfiguredRate) {
   sim::World world{sim::make_town05_route()};
-  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, 0.0, 0, {}, 10.0, "ego");
+  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, units::Meters{0.0}, 0, {},
+                                      units::MetersPerSecond{10.0}, "ego");
   world.designate_ego(ego);
-  world.spawn_on_road(sim::ActorKind::kStaticVehicle, 100.0, 1, {}, 0.0, "parked");
+  world.spawn_on_road(sim::ActorKind::kStaticVehicle, units::Meters{100.0}, 1, {},
+                      units::MetersPerSecond{0.0}, "parked");
 
   TraceRecorder rec{"run", "T1", false, /*sample_hz=*/10.0};
   for (int i = 0; i < 100; ++i) {  // 1 s at 100 Hz physics
-    world.step(0.01);
+    world.step(units::Seconds{0.01});
     rec.step(world);
   }
   const RunTrace& t = rec.trace();
@@ -26,16 +28,18 @@ TEST(TraceRecorder, SamplesAtConfiguredRate) {
 
 TEST(TraceRecorder, CapturesSensorEvents) {
   sim::World world{sim::make_town05_route()};
-  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, 0.0, 0, {}, 12.0, "ego");
+  const auto ego = world.spawn_on_road(sim::ActorKind::kVehicle, units::Meters{0.0}, 0, {},
+                                      units::MetersPerSecond{12.0}, "ego");
   world.designate_ego(ego);
-  world.spawn_on_road(sim::ActorKind::kStaticVehicle, 30.0, 0, {}, 0.0, "wall");
+  world.spawn_on_road(sim::ActorKind::kStaticVehicle, units::Meters{30.0}, 0, {},
+                      units::MetersPerSecond{0.0}, "wall");
   sim::VehicleControl c;
   c.throttle = 0.5;
   world.apply_ego_control(c);
 
   TraceRecorder rec{"run", "T1", true};
   for (int i = 0; i < 600; ++i) {
-    world.step(0.01);
+    world.step(units::Seconds{0.01});
     rec.step(world);
   }
   EXPECT_FALSE(rec.trace().collisions.empty());

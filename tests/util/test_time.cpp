@@ -50,6 +50,47 @@ TEST(TimePoint, Arithmetic) {
   EXPECT_DOUBLE_EQ(t2.to_seconds(), 3.0);
 }
 
+TEST(Duration, NegativeDurations) {
+  const Duration neg = Duration::millis(-250);
+  EXPECT_TRUE(neg.is_negative());
+  EXPECT_FALSE(neg.is_zero());
+  EXPECT_DOUBLE_EQ(neg.to_seconds(), -0.25);
+  EXPECT_DOUBLE_EQ(neg.to_millis(), -250.0);
+  EXPECT_EQ(-neg, Duration::millis(250));
+  EXPECT_EQ(neg + Duration::millis(250), Duration{});
+  EXPECT_LT(neg, Duration{});
+  // Negative scaling flips sign; integer division truncates toward zero.
+  EXPECT_EQ(Duration::micros(3) * -2, Duration::micros(-6));
+  EXPECT_EQ(Duration::micros(-3) / 2, Duration::micros(-1));
+}
+
+TEST(Duration, MicrosecondResolutionRoundTrips) {
+  // seconds() truncates to the microsecond grid; values on the grid are
+  // exact both ways.
+  EXPECT_EQ(Duration::seconds(0.000001).count_micros(), 1);
+  EXPECT_EQ(Duration::seconds(1.5).count_micros(), 1500000);
+  EXPECT_DOUBLE_EQ(Duration::micros(1).to_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(Duration::micros(1).to_millis(), 1e-3);
+  // Sub-microsecond residue truncates (int64 cast, toward zero).
+  EXPECT_EQ(Duration::seconds(0.0000014).count_micros(), 1);
+  EXPECT_EQ(Duration::seconds(-0.0000014).count_micros(), -1);
+  // Round-trip through to_seconds() is exact for on-grid values.
+  const Duration d = Duration::micros(1234567);
+  EXPECT_EQ(Duration::seconds(d.to_seconds()), d);
+}
+
+TEST(TimePoint, EdgeCases) {
+  // The epoch is time zero; subtraction can go before it.
+  const TimePoint epoch;
+  const TimePoint before = epoch - Duration::millis(5);
+  EXPECT_LT(before, epoch);
+  EXPECT_EQ(before.count_micros(), -5000);
+  EXPECT_EQ((epoch - before), Duration::millis(5));
+  // from_seconds truncates to the microsecond grid like Duration::seconds.
+  EXPECT_EQ(TimePoint::from_seconds(0.0000019).count_micros(), 1);
+  EXPECT_EQ(TimePoint::from_micros(1500000), TimePoint::from_seconds(1.5));
+}
+
 TEST(VirtualClock, AdvancesMonotonically) {
   VirtualClock clock;
   EXPECT_EQ(clock.now(), TimePoint{});
