@@ -3,6 +3,13 @@
 // serial campaign_hash bit-for-bit (exits non-zero otherwise) and emits the
 // measurements as BENCH_campaign.json.
 //
+// Also measures observability overhead: one more serial campaign with an
+// obs::CampaignCollector attached and every instrument live. The hash must
+// still match (exit-code gated), and the wall-time delta against the plain
+// serial run is reported as overhead_pct in BENCH_obs.json, together with
+// the collector's full metric report; the per-run trace goes to
+// campaign_sample.trace.json.
+//
 //   usage: bench_campaign_scaling [--quick] [--out FILE] [seed]
 //
 // --quick caps each run at 20 simulated seconds — same code path, miniature
@@ -19,6 +26,7 @@
 
 #include "core/campaign_hash.hpp"
 #include "core/experiment.hpp"
+#include "obs/report.hpp"
 
 using namespace rdsim;
 
@@ -85,6 +93,23 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  // Observability overhead: serial again, collector attached, obs on.
+  obs::set_enabled(true);
+  core::ExperimentHarness obs_harness{cfg};
+  obs::CampaignCollector collector;
+  obs_harness.set_collector(&collector);
+  const auto o0 = std::chrono::steady_clock::now();
+  const core::CampaignResult observed = obs_harness.run_campaign();
+  const auto o1 = std::chrono::steady_clock::now();
+  const double obs_s = wall_seconds(o0, o1);
+  const std::uint64_t obs_hash = check::campaign_hash(observed);
+  const bool obs_identical = obs_hash == serial_hash;
+  const double overhead_pct =
+      serial_s > 0.0 ? 100.0 * (obs_s - serial_s) / serial_s : 0.0;
+  std::printf("  obs enabled : %7.2f s   hash %016llx   overhead %+.1f%%   %s\n",
+              obs_s, static_cast<unsigned long long>(obs_hash), overhead_pct,
+              obs_identical ? "bit-identical" : "HASH MISMATCH");
+
   std::ofstream json{out_path, std::ios::trunc};
   json << "{\n"
        << "  \"bench\": \"campaign_scaling\",\n"
@@ -110,8 +135,29 @@ int main(int argc, char** argv) {
   json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
-  if (!all_identical) {
-    std::fprintf(stderr, "FAIL: parallel campaign hash diverged from serial\n");
+  {
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(obs_hash));
+    std::ofstream obs_json{"BENCH_obs.json", std::ios::trunc};
+    obs_json << "{\n"
+             << "  \"bench\": \"campaign_obs_overhead\",\n"
+             << "  \"seed\": " << cfg.seed << ",\n"
+             << "  \"compiled_in\": " << (obs::compiled_in() ? "true" : "false")
+             << ",\n"
+             << "  \"baseline_wall_s\": " << serial_s << ",\n"
+             << "  \"obs_wall_s\": " << obs_s << ",\n"
+             << "  \"overhead_pct\": " << overhead_pct << ",\n"
+             << "  \"campaign_hash\": \"" << hash_hex << "\",\n"
+             << "  \"bit_identical\": " << (obs_identical ? "true" : "false")
+             << ",\n"
+             << "  \"report\": " << collector.report_json() << "}\n";
+    collector.write_trace("campaign_sample.trace.json");
+    std::printf("wrote BENCH_obs.json and campaign_sample.trace.json\n");
+  }
+
+  if (!all_identical || !obs_identical) {
+    std::fprintf(stderr, "FAIL: campaign hash diverged from serial baseline\n");
     return 1;
   }
   return 0;

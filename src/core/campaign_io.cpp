@@ -184,7 +184,8 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
   return h.digest();
 }
 
-std::string campaign_cache_path(const ExperimentConfig& config) {
+std::string campaign_cache_path(const ExperimentConfig& config,
+                                bool obs_instrumented) {
   std::filesystem::path dir;
   if (const char* env = std::getenv("RDSIM_CAMPAIGN_CACHE"); env != nullptr && *env != '\0') {
     dir = env;
@@ -194,8 +195,9 @@ std::string campaign_cache_path(const ExperimentConfig& config) {
     if (ec) dir = ".";
   }
   char name[64];
-  std::snprintf(name, sizeof name, "rdsim_campaign_%016llx.bin",
-                static_cast<unsigned long long>(experiment_config_fingerprint(config)));
+  std::snprintf(name, sizeof name, "rdsim_campaign_%016llx%s.bin",
+                static_cast<unsigned long long>(experiment_config_fingerprint(config)),
+                obs_instrumented ? "_obs" : "");
   return (dir / name).string();
 }
 

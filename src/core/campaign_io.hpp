@@ -46,6 +46,13 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config);
 
 /// Cache artifact path for `config`: $RDSIM_CAMPAIGN_CACHE (a directory) or
 /// the system temp directory, plus a fingerprint-keyed filename.
-std::string campaign_cache_path(const ExperimentConfig& config);
+/// `obs_instrumented` marks artifacts produced by a campaign that ran with
+/// an observability collector attached: the CampaignResult bytes are
+/// bit-identical either way (the golden suite proves it), but an
+/// obs-instrumented bench run also produces side artifacts (BENCH_obs.json,
+/// traces) that a plain cache hit could not regenerate, so the two must
+/// never share a cache entry.
+std::string campaign_cache_path(const ExperimentConfig& config,
+                                bool obs_instrumented = false);
 
 }  // namespace rdsim::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rdsim::core {
@@ -59,8 +62,18 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile,
     rc.driver = profile.driver;
     rc.seed = util::splitmix64(profile.seed ^ 0x9e3779b97f4a7c15ULL);
     rc.replay = golden_replay;
+    const std::string run_id = rc.run_id;
     TeleopSession session{std::move(rc), make_run_scenario()};
-    result.golden = session.run();
+    // One obs context per run, installed thread-locally for the duration:
+    // whichever pool worker executes this subject accumulates into it, and
+    // the collector merges finished runs in run-id order.
+    obs::Context obs_ctx;
+    {
+      obs::ContextScope obs_scope{collector_ != nullptr ? &obs_ctx : nullptr};
+      RDSIM_OBS_TIMER(obs::metric::kRunWall);
+      result.golden = session.run();
+    }
+    if (collector_ != nullptr) collector_->submit_run(run_id, std::move(obs_ctx));
   }
 
   // Faulty run: randomized plan over the points of interest.
@@ -76,8 +89,15 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile,
     rc.replay = faulty_replay;
     const sim::Scenario scenario = make_run_scenario();
     rc.plan = make_fault_plan(scenario, rng);
+    const std::string run_id = rc.run_id;
     TeleopSession session{std::move(rc), scenario};
-    result.faulty = session.run();
+    obs::Context obs_ctx;
+    {
+      obs::ContextScope obs_scope{collector_ != nullptr ? &obs_ctx : nullptr};
+      RDSIM_OBS_TIMER(obs::metric::kRunWall);
+      result.faulty = session.run();
+    }
+    if (collector_ != nullptr) collector_->submit_run(run_id, std::move(obs_ctx));
   }
 
   result.questionnaire = make_questionnaire(profile, result.faulty, rng);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/teleop.hpp"
+#include "obs/report.hpp"
 
 namespace rdsim::core {
 
@@ -76,6 +77,14 @@ class ExperimentHarness {
 
   const ExperimentConfig& config() const { return config_; }
 
+  /// Attach an observability collector. Each run (golden and faulty) then
+  /// executes under its own obs::Context — installed thread-locally, so this
+  /// works identically for serial and pooled campaigns — and is submitted
+  /// under its run id ("T01-NFI"). Pass nullptr to detach. The collector
+  /// must outlive every campaign call.
+  void set_collector(obs::CampaignCollector* collector) { collector_ = collector; }
+  obs::CampaignCollector* collector() const { return collector_; }
+
  private:
   QuestionnaireResponse make_questionnaire(const SubjectProfile& profile,
                                            const RunResult& faulty,
@@ -85,6 +94,7 @@ class ExperimentHarness {
   sim::Scenario make_run_scenario() const;
 
   ExperimentConfig config_;
+  obs::CampaignCollector* collector_{nullptr};
 };
 
 }  // namespace rdsim::core

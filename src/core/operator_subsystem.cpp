@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
+
 namespace rdsim::core {
 
 double QoeStats::score() const {
@@ -25,12 +28,18 @@ OperatorSubsystem::OperatorSubsystem(const StationConfig& station, DriverModel d
 void OperatorSubsystem::on_frame(const sim::WorldFrame& frame, util::TimePoint now) {
   if (any_frame_ && frame.frame_id <= displayed_frame_id_) {
     ++frames_superseded_;  // late frame, already superseded on screen
+    RDSIM_OBS_COUNT(obs::metric::kOpFramesSuperseded, 1);
     return;
   }
   any_frame_ = true;
   displayed_frame_id_ = frame.frame_id;
   ++frames_displayed_;
   last_display_update_ = now;
+  RDSIM_OBS_COUNT(obs::metric::kOpFramesDisplayed, 1);
+  RDSIM_OBS_OBSERVE(
+      obs::metric::kOpFrameAgeMillis,
+      units::Millis::from_duration(now - util::TimePoint::from_micros(frame.sim_time_us))
+          .value());
 
   DisplayedView view;
   view.frame = frame;
@@ -50,12 +59,27 @@ std::optional<CommandMsg> OperatorSubsystem::poll(util::TimePoint now) {
         qoe_.frozen_time += dt;
         current_freeze_ += dt;
       } else {
-        if (current_freeze_ > units::Seconds{0.3}) ++qoe_.freeze_episodes;
+        if (current_freeze_ > units::Seconds{0.3}) {
+          ++qoe_.freeze_episodes;
+#if RDSIM_OBS
+          // Record the finished freeze window (span endpoints reconstructed
+          // from the accumulated freeze duration) together with its counter.
+          if (obs::Context* ctx = obs::Context::current()) {
+            const std::size_t span = ctx->span_open(
+                obs::metric::kOpFreezeSpan, now - current_freeze_.to_duration());
+            ctx->span_close(span, now);
+            ctx->count(obs::metric::kOpFreezeSpan, 1);
+          }
+#endif
+        }
         qoe_.longest_freeze = std::max(qoe_.longest_freeze, current_freeze_);
         current_freeze_ = units::Seconds{};
       }
       qoe_.staleness_sum += staleness;
       ++qoe_.staleness_samples;
+      RDSIM_OBS_OBSERVE(obs::metric::kOpStalenessMillis,
+                        units::Millis::from_duration(now - last_display_update_)
+                            .value());
     }
   }
   first_poll_ = false;

@@ -1,6 +1,8 @@
 #include "core/teleop.hpp"
 
 #include "check/frame_hash.hpp"
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
 #include "sim/frame.hpp"
 
 namespace rdsim::core {
@@ -131,29 +133,45 @@ void TeleopSession::pump_commands(util::TimePoint now) {
 
 bool TeleopSession::step() {
   if (finished_) return false;
+  RDSIM_OBS_TIMER(obs::metric::kPhaseStep);
   const util::TimePoint now = clock_.now();
 
   // Physics sub-steps due at this tick.
-  while (next_physics_ <= now) {
-    vehicle_.step_physics(units::Seconds::from_duration(physics_dt_));
-    recorder_.step(vehicle_.world());
-    if (config_.replay != nullptr) {
-      check::Fnv1a net;
-      net.u64(check::hash_channel(channel_));
-      net.u64(check::hash_qdisc(tc_.root(config_.rds.device)));
-      config_.replay->record_tick(vehicle_.world().frame_counter(),
-                                  check::hash_frame(vehicle_.world().snapshot()),
-                                  net.digest());
+  {
+    RDSIM_OBS_TIMER(obs::metric::kPhasePhysics);
+    while (next_physics_ <= now) {
+      vehicle_.step_physics(units::Seconds::from_duration(physics_dt_));
+      recorder_.step(vehicle_.world());
+      if (config_.replay != nullptr) {
+        check::Fnv1a net;
+        net.u64(check::hash_channel(channel_));
+        net.u64(check::hash_qdisc(tc_.root(config_.rds.device)));
+        config_.replay->record_tick(vehicle_.world().frame_counter(),
+                                    check::hash_frame(vehicle_.world().snapshot()),
+                                    net.digest());
+      }
+      next_physics_ += physics_dt_;
     }
-    next_physics_ += physics_dt_;
   }
 
-  update_fault_plan();
-  injector_.step(now);
+  {
+    RDSIM_OBS_TIMER(obs::metric::kPhaseFaults);
+    update_fault_plan();
+    injector_.step(now);
+  }
 
-  pump_video(now);
-  router_.poll(now);
-  pump_commands(now);
+  {
+    RDSIM_OBS_TIMER(obs::metric::kPhaseVideo);
+    pump_video(now);
+  }
+  {
+    RDSIM_OBS_TIMER(obs::metric::kPhaseRouter);
+    router_.poll(now);
+  }
+  {
+    RDSIM_OBS_TIMER(obs::metric::kPhaseCommands);
+    pump_commands(now);
+  }
 
   clock_.advance(comms_dt_);
 

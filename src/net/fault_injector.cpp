@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
+
 namespace rdsim::net {
 
 std::string to_string(FaultKind kind) {
@@ -71,6 +74,13 @@ void FaultInjector::inject(const FaultSpec& fault, util::TimePoint now) {
   active_ = fault;
   log_.push_back({now, fault, /*added=*/true});
   ++injections_;
+  RDSIM_OBS_COUNT(obs::metric::kFaultsInjected, 1);
+#if RDSIM_OBS
+  if (obs::Context* ctx = obs::Context::current()) {
+    window_span_ = ctx->span_open(obs::metric::kFaultWindowSpan, now);
+    ctx->count(obs::metric::kFaultWindowSpan, 1);
+  }
+#endif
 }
 
 void FaultInjector::remove(util::TimePoint now) {
@@ -78,6 +88,14 @@ void FaultInjector::remove(util::TimePoint now) {
   tc_->del(device_);
   log_.push_back({now, *active_, /*added=*/false});
   active_.reset();
+#if RDSIM_OBS
+  if (window_span_ != obs::kNoSpan) {
+    if (obs::Context* ctx = obs::Context::current()) {
+      ctx->span_close(window_span_, now);
+    }
+    window_span_ = obs::kNoSpan;
+  }
+#endif
 }
 
 void FaultInjector::schedule(const FaultSpec& fault, util::TimePoint start,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/tc.hpp"
+#include "obs/metrics.hpp"
 
 namespace rdsim::net {
 
@@ -92,6 +93,9 @@ class FaultInjector {
   std::vector<Window> schedule_;
   std::vector<FaultEvent> log_;
   std::size_t injections_{0};
+#if RDSIM_OBS
+  std::size_t window_span_{obs::kNoSpan};  ///< open fault-window trace span
+#endif
 };
 
 }  // namespace rdsim::net

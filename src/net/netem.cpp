@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "check/contracts.hpp"
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
 #include "util/vec2.hpp"
 
 namespace rdsim::net {
@@ -196,10 +198,12 @@ bool NetemQdisc::sample_loss() {
 
 void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
   ++stats_.enqueued;
+  RDSIM_OBS_COUNT(obs::metric::kNetemEnqueued, 1);
   packet.enqueued_at = now;
 
   if (sample_loss()) {
     ++stats_.dropped_loss;
+    RDSIM_OBS_COUNT(obs::metric::kNetemDroppedLoss, 1);
     return;
   }
 
@@ -221,6 +225,7 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
       packet.payload[byte_idx] ^= bit;
       packet.corrupted = true;
       ++stats_.corrupted;
+      RDSIM_OBS_COUNT(obs::metric::kNetemCorrupted, 1);
     }
   }
 
@@ -242,7 +247,10 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
   }
   if (send_immediately) {
     delay = util::Duration{};
-    if (!queue_.empty()) ++stats_.reordered;
+    if (!queue_.empty()) {
+      ++stats_.reordered;
+      RDSIM_OBS_COUNT(obs::metric::kNetemReordered, 1);
+    }
   }
 
   util::TimePoint release = now + delay;
@@ -258,6 +266,7 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
 
   if (queue_.size() >= config_.limit) {
     ++stats_.dropped_overlimit;
+    RDSIM_OBS_COUNT(obs::metric::kNetemDroppedOverlimit, 1);
     return;
   }
 
@@ -279,9 +288,12 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
     Packet copy = packet;
     copy.duplicate = true;
     ++stats_.duplicated;
+    RDSIM_OBS_COUNT(obs::metric::kNetemDuplicated, 1);
     schedule(std::move(copy));
   }
   schedule(std::move(packet));
+  RDSIM_OBS_GAUGE_SET(obs::metric::kNetemDepth,
+                      static_cast<double>(queue_.size()));
 }
 
 std::vector<Packet> NetemQdisc::dequeue_ready(util::TimePoint now) {
@@ -297,6 +309,11 @@ std::vector<Packet> NetemQdisc::dequeue_ready(util::TimePoint now) {
     out.push_back(std::move(queue_[i].packet));
   }
   queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (n > 0) {
+    RDSIM_OBS_COUNT(obs::metric::kNetemDequeued, n);
+    RDSIM_OBS_GAUGE_SET(obs::metric::kNetemDepth,
+                        static_cast<double>(queue_.size()));
+  }
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "check/contracts.hpp"
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
 
 namespace rdsim::net {
 
@@ -18,12 +20,15 @@ std::string QdiscStats::summary() const {
 
 void FifoQdisc::enqueue(Packet packet, util::TimePoint now) {
   ++stats_.enqueued;
+  RDSIM_OBS_COUNT(obs::metric::kFifoEnqueued, 1);
   packet.enqueued_at = now;
   if (queue_.size() >= limit_) {
     ++stats_.dropped_overlimit;
+    RDSIM_OBS_COUNT(obs::metric::kFifoDroppedOverlimit, 1);
     return;
   }
   queue_.push_back(std::move(packet));
+  RDSIM_OBS_GAUGE_SET(obs::metric::kFifoDepth, static_cast<double>(queue_.size()));
   RDSIM_ENSURE(queue_.size() <= limit_, "pfifo backlog must respect its limit");
 }
 
@@ -33,6 +38,10 @@ std::vector<Packet> FifoQdisc::dequeue_ready(util::TimePoint /*now*/) {
   for (const auto& p : out) {
     ++stats_.dequeued;
     stats_.bytes_sent += p.effective_wire_size();
+  }
+  if (!out.empty()) {
+    RDSIM_OBS_COUNT(obs::metric::kFifoDequeued, out.size());
+    RDSIM_OBS_GAUGE_SET(obs::metric::kFifoDepth, 0.0);
   }
   RDSIM_INVARIANT(stats_.dequeued + stats_.dropped_overlimit <= stats_.enqueued,
                   "pfifo cannot emit or drop more packets than were enqueued");

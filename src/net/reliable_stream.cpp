@@ -5,6 +5,8 @@
 
 #include "check/contracts.hpp"
 #include "net/serialization.hpp"
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
 
 namespace rdsim::net {
 
@@ -100,6 +102,10 @@ void ReliableStream::transmit_segment(const Segment& seg, util::TimePoint now,
   it->second.last_sent = now;
   ++it->second.transmissions;
   if (!retransmission) ++stats_.segments_sent;
+  RDSIM_OBS_COUNT(obs::metric::kStreamSegmentsTx, 1);
+  if (retransmission) {
+    RDSIM_OBS_COUNT(obs::metric::kStreamRetransmittedSegments, 1);
+  }
 }
 
 void ReliableStream::step(util::TimePoint now) {
@@ -124,6 +130,7 @@ void ReliableStream::step(util::TimePoint now) {
         --budget;
       }
       ++stats_.retransmits_rto;
+      RDSIM_OBS_COUNT(obs::metric::kStreamRtoEvents, 1);
       rto_backoff_ = std::min(rto_backoff_ + 1, 3u);
     }
   } else {
@@ -175,10 +182,12 @@ void ReliableStream::on_packet(const ProtocolHeader& header, Payload body,
 void ReliableStream::on_data(Payload body, util::TimePoint now) {
   auto seg = decode_data(body);
   if (!seg) return;
+  RDSIM_OBS_COUNT(obs::metric::kStreamSegmentsRx, 1);
 
   if (seg->seq < rcv_next_ || out_of_order_.count(seg->seq) != 0) {
     // Duplicate (retransmission that raced the original, or netem duplicate).
     ++stats_.stale_segments;
+    RDSIM_OBS_COUNT(obs::metric::kStreamStaleSegments, 1);
   } else {
     last_data_ts_us_ = seg->message_sent_us;
     out_of_order_.emplace(seg->seq, std::move(*seg));
@@ -219,12 +228,38 @@ void ReliableStream::on_data(Payload body, util::TimePoint now) {
     }
   }
 
+  update_hol_obs(now);
+
   if (config_.ack_delay.is_zero()) {
     send_ack(now);
   } else if (!ack_pending_) {
     ack_pending_ = true;
     ack_due_ = now + config_.ack_delay;
   }
+}
+
+void ReliableStream::update_hol_obs(util::TimePoint now) {
+#if RDSIM_OBS
+  const bool stalled = !out_of_order_.empty();
+  if (stalled && !hol_open_) {
+    hol_open_ = true;
+    hol_begin_ = now;
+  } else if (!stalled && hol_open_) {
+    hol_open_ = false;
+    if (obs::Context* ctx = obs::Context::current()) {
+      // Record span and counter from the same endpoints, so the microsecond
+      // total always equals the sum of traced stall-span durations.
+      const std::size_t span =
+          ctx->span_open(obs::metric::kStreamHolStallSpan, hol_begin_, stream_id_);
+      ctx->span_close(span, now);
+      ctx->count(obs::metric::kStreamHolStallMicros,
+                 static_cast<std::uint64_t>((now - hol_begin_).count_micros()));
+      ctx->count(obs::metric::kStreamHolStallSpan, 1);
+    }
+  }
+#else
+  (void)now;
+#endif
 }
 
 void ReliableStream::send_ack(util::TimePoint now) {
@@ -274,6 +309,7 @@ void ReliableStream::on_ack(Payload body, util::TimePoint now) {
   } else if (cum_ack == last_cum_ack_ && !in_flight_.empty()) {
     ++dup_ack_count_;
     ++stats_.dup_acks_seen;
+    RDSIM_OBS_COUNT(obs::metric::kStreamDupAcks, 1);
     // Re-arm every three further duplicate ACKs so multiple losses within a
     // window still recover without waiting for the RTO (SACK-era TCP).
     if (config_.fast_retransmit && dup_ack_count_ % 3 == 0) {
@@ -281,6 +317,7 @@ void ReliableStream::on_ack(Payload body, util::TimePoint now) {
       if (it != in_flight_.end()) {
         transmit_segment(it->second.segment, now, /*retransmission=*/true);
         ++stats_.retransmits_fast;
+        RDSIM_OBS_COUNT(obs::metric::kStreamFastRetransmits, 1);
       }
     }
   }
@@ -303,6 +340,7 @@ void ReliableStream::on_ack(Payload body, util::TimePoint now) {
       if (now - inflight.last_sent < hold_off) continue;
       transmit_segment(inflight.segment, now, /*retransmission=*/true);
       ++stats_.retransmits_fast;
+      RDSIM_OBS_COUNT(obs::metric::kStreamFastRetransmits, 1);
       --budget;
     }
   }

@@ -26,6 +26,7 @@
 #include <map>
 
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace rdsim::net {
@@ -96,6 +97,8 @@ class ReliableStream {
   std::size_t unacked_segments() const { return in_flight_.size(); }
   std::size_t send_backlog() const { return send_queue_.size(); }
   const StreamConfig& config() const { return config_; }
+  /// Highest cumulative ACK the sender has seen (monotone non-decreasing).
+  std::uint32_t last_cum_ack() const { return last_cum_ack_; }
 
  private:
   struct Segment {
@@ -127,6 +130,7 @@ class ReliableStream {
   void on_packet(const ProtocolHeader& header, Payload body, LinkDirection via,
                  util::TimePoint now);
   void on_data(Payload body, util::TimePoint now);
+  void update_hol_obs(util::TimePoint now);
   void on_ack(Payload body, util::TimePoint now);
   void transmit_segment(const Segment& seg, util::TimePoint now, bool retransmission);
   void send_ack(util::TimePoint now);
@@ -162,6 +166,15 @@ class ReliableStream {
   bool ack_pending_{false};
   util::TimePoint ack_due_{};
   std::uint64_t last_data_ts_us_{0};
+
+#if RDSIM_OBS
+  // Head-of-line stall tracking (observation only — never read by the
+  // protocol). A stall is any period with out-of-order segments buffered;
+  // the span and the microsecond counter are recorded together when the
+  // stall closes, so the counter equals the span-duration sum exactly.
+  bool hol_open_{false};
+  util::TimePoint hol_begin_{};
+#endif
 
   StreamStats stats_;
 };

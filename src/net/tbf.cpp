@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
+
 namespace rdsim::net {
 
 void TbfQdisc::refill(util::TimePoint now) {
@@ -14,13 +17,16 @@ void TbfQdisc::refill(util::TimePoint now) {
 
 void TbfQdisc::enqueue(Packet packet, util::TimePoint now) {
   ++stats_.enqueued;
+  RDSIM_OBS_COUNT(obs::metric::kTbfEnqueued, 1);
   packet.enqueued_at = now;
   if (queue_.size() >= config_.limit) {
     ++stats_.dropped_overlimit;
+    RDSIM_OBS_COUNT(obs::metric::kTbfDroppedOverlimit, 1);
     return;
   }
   refill(now);
   queue_.push_back(std::move(packet));
+  RDSIM_OBS_GAUGE_SET(obs::metric::kTbfDepth, static_cast<double>(queue_.size()));
 }
 
 std::vector<Packet> TbfQdisc::dequeue_ready(util::TimePoint now) {
@@ -34,6 +40,11 @@ std::vector<Packet> TbfQdisc::dequeue_ready(util::TimePoint now) {
     stats_.bytes_sent += static_cast<std::uint64_t>(cost);
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
+  }
+  if (!out.empty()) {
+    RDSIM_OBS_COUNT(obs::metric::kTbfDequeued, out.size());
+    RDSIM_OBS_GAUGE_SET(obs::metric::kTbfDepth,
+                        static_cast<double>(queue_.size()));
   }
   return out;
 }

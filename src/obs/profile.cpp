@@ -1,0 +1,15 @@
+#include "obs/profile.hpp"
+
+#include <chrono>
+
+namespace rdsim::obs {
+
+std::uint64_t wallclock_ns() {
+  // Profiling-only wall clock; see the header for why this is exempt from
+  // the repository's no-wall-clock rule.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();  // lint:allow(wall-clock)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace rdsim::obs

@@ -1,0 +1,46 @@
+// RAII scoped wall-clock timers.
+//
+// This is the ONE place in src/ where a wall clock is legitimate: profiling
+// where real time goes inside a tick. The measured nanosecond values are
+// inherently nondeterministic — they never feed the simulation, a hash, or
+// any trace keyed to the virtual clock; they only accumulate into the
+// thread-local obs::Context as (total_ns, count) pairs whose *structure*
+// (which timers exist, how per-run cells merge into the campaign rollup) is
+// deterministic and worker-count independent.
+//
+// A ScopedTimer latches Context::current() at construction: zero clock reads
+// happen when no context is installed, which is what keeps the disabled-path
+// overhead at a TLS load plus a branch.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace rdsim::obs {
+
+/// Monotonic wall-clock nanoseconds (for profiling only — never sim logic).
+std::uint64_t wallclock_ns();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId id) : context_{Context::current()}, id_{id} {
+    if (context_ != nullptr) start_ns_ = wallclock_ns();
+  }
+
+  ~ScopedTimer() {
+    if (context_ != nullptr) {
+      context_->timer_add(id_, wallclock_ns() - start_ns_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Context* context_;
+  MetricId id_;
+  std::uint64_t start_ns_{0};
+};
+
+}  // namespace rdsim::obs

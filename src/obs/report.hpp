@@ -1,0 +1,51 @@
+// Campaign-level rollup of per-run observability contexts.
+//
+// The harness runs one Context per subject run (on whatever pool worker the
+// scheduler picked) and submits it here under the run's stable id. The
+// collector stores runs in a std::map keyed by that id, so iteration —
+// and therefore every merge and every exported report — happens in run-id
+// order, never completion order. That is the whole worker-count-independence
+// argument: merges are associative/commutative AND applied in a fixed order.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace rdsim::obs {
+
+class CampaignCollector {
+ public:
+  /// Move `context` in under `run_id`. Thread-safe; empty contexts are kept
+  /// (a run that recorded nothing is still a run). A duplicate id folds into
+  /// the existing entry via Context::merge_from.
+  void submit_run(std::string_view run_id, Context context);
+
+  /// Per-run contexts in run-id order. Not thread-safe against concurrent
+  /// submit_run — read after the campaign joins its workers.
+  const std::map<std::string, Context>& runs() const { return runs_; }
+
+  /// All runs folded into one context, merging in run-id order.
+  Context merged() const;
+
+  std::size_t run_count() const { return runs_.size(); }
+
+  /// JSON report: campaign-wide totals plus per-run sections, every metric
+  /// map sorted by metric name. Shape documented in docs/observability.md.
+  std::string report_json() const;
+
+  /// Write report_json() to `path`; throws std::runtime_error on I/O failure.
+  void write_report(const std::string& path) const;
+
+  /// Write one Chrome trace with a track per run (run-id order) to `path`.
+  void write_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Context> runs_;
+};
+
+}  // namespace rdsim::obs

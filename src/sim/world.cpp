@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+#include "obs/obs.hpp"
+
 namespace rdsim::sim {
 
 World::World(RoadNetwork road, VehicleParams default_params)
@@ -91,6 +94,7 @@ void World::apply_ego_control(const VehicleControl& control) {
 }
 
 void World::step(units::Seconds dt) {
+  RDSIM_OBS_TIMER(obs::metric::kSimWorldStep);
   for (auto& [_, actor] : actors_) {
     actor->step(road_, dt);
     // Keep the track-position cache warm for every actor.
@@ -127,6 +131,8 @@ void World::sense_collisions() {
       ev.other_kind = actor->kind();
       ev.relative_speed = (e.state().velocity - actor->state().velocity).norm();
       collisions_.push_back(ev);
+      RDSIM_OBS_COUNT(obs::metric::kSimCollision, 1);
+      RDSIM_OBS_EVENT(obs::metric::kSimCollision, now_);
       contact_set_[id] = true;
       collision_cooldown_[id] = now_;
       // Crude inelastic response: the ego loses its speed into the obstacle,

@@ -15,11 +15,14 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "check/replay.hpp"
 #include "core/campaign_hash.hpp"
 #include "core/experiment.hpp"
+#include "obs/catalog.hpp"
+#include "obs/report.hpp"
 
 namespace rdsim::core {
 namespace {
@@ -164,6 +167,100 @@ TEST(CampaignGolden, ParallelMatchesSerialForEveryWorkerCount) {
           << "seed " << entry.seed << " workers " << workers;
     }
   }
+}
+
+TEST(CampaignGolden, ObservabilityDoesNotPerturbTheCampaign) {
+  // The cardinal obs rule: with every instrument live — counters, gauges,
+  // histograms, wall timers, spans — the campaign hash and all twelve
+  // subject hashes must equal the checked-in corpus values, serially and at
+  // every worker count. Observation reads sim state; it never touches an
+  // RNG stream, the virtual clock, or any hashed value.
+  obs::set_enabled(true);
+  for (const GoldenEntry& entry : kGolden) {
+    ExperimentHarness harness{golden_config(entry.seed)};
+    obs::CampaignCollector collector;
+    harness.set_collector(&collector);
+    const CampaignResult observed = harness.run_campaign();
+    ASSERT_EQ(check::campaign_hash(observed), entry.campaign)
+        << "obs-enabled serial campaign drifted, seed " << entry.seed;
+    for (std::size_t i = 0; i < observed.subjects.size(); ++i) {
+      ASSERT_EQ(check::hash_subject(observed.subjects[i]), entry.subjects[i])
+          << "obs-enabled subject hash drifted, seed " << entry.seed
+          << " subject index " << i;
+    }
+#if RDSIM_OBS
+    // The collector must actually have gathered data — an accidentally inert
+    // instrumentation layer would make this whole test vacuous.
+    ASSERT_EQ(collector.run_count(), 24u);  // 12 subjects x (NFI + FI)
+    const obs::Context merged = collector.merged();
+    EXPECT_GT(merged.counter(obs::metric::kNetemEnqueued) +
+                  merged.counter(obs::metric::kFifoEnqueued),
+              0u);
+    EXPECT_GT(merged.counter(obs::metric::kStreamSegmentsTx), 0u);
+    EXPECT_NE(merged.timer(obs::metric::kRunWall), nullptr);
+#endif
+  }
+
+  // Worker sweep (seed 42 keeps the sweep inside the unit-test budget): the
+  // pooled runner installs per-run contexts on whatever worker executes the
+  // subject; hashes must still match the corpus bit-for-bit.
+  const GoldenEntry& entry = kGolden[2];
+  ASSERT_EQ(entry.seed, 42u);
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ExperimentHarness harness{golden_config(entry.seed)};
+    obs::CampaignCollector collector;
+    harness.set_collector(&collector);
+    const CampaignResult observed = harness.run_campaign_parallel(workers);
+    ASSERT_EQ(check::campaign_hash(observed), entry.campaign)
+        << "obs-enabled parallel campaign drifted at " << workers << " workers";
+#if RDSIM_OBS
+    ASSERT_EQ(collector.run_count(), 24u) << workers << " workers";
+#endif
+  }
+}
+
+TEST(CampaignGolden, ObsAggregationIsWorkerCountIndependent) {
+#if RDSIM_OBS
+  // Deterministic metrics (everything except wall timers) must aggregate to
+  // the same campaign report regardless of worker count: contexts merge in
+  // run-id order, never completion order. Compare full per-run counter,
+  // gauge and histogram state across worker counts.
+  obs::set_enabled(true);
+  const std::uint64_t seed = 42;
+  auto collect = [&](std::size_t workers) {
+    ExperimentHarness harness{golden_config(seed)};
+    auto collector = std::make_unique<obs::CampaignCollector>();
+    harness.set_collector(collector.get());
+    harness.run_campaign_parallel(workers);
+    return collector;
+  };
+  const auto reference = collect(1);
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const auto other = collect(workers);
+    ASSERT_EQ(other->run_count(), reference->run_count());
+    auto ref_it = reference->runs().begin();
+    for (const auto& [run_id, context] : other->runs()) {
+      ASSERT_EQ(run_id, ref_it->first);
+      const obs::Context& ref_ctx = ref_it->second;
+      for (obs::MetricId id = 0; id < obs::metric_count(); ++id) {
+        const obs::MetricDef& def = obs::metric_def(id);
+        if (def.kind == obs::MetricKind::kTimer) continue;  // wall-clock noise
+        EXPECT_EQ(context.counter(id), ref_ctx.counter(id))
+            << run_id << " " << def.name << " @ " << workers << " workers";
+        const obs::HistogramCell* h = context.histogram(id);
+        const obs::HistogramCell* rh = ref_ctx.histogram(id);
+        ASSERT_EQ(h == nullptr, rh == nullptr) << run_id << " " << def.name;
+        if (h != nullptr) {
+          EXPECT_EQ(h->counts, rh->counts) << run_id << " " << def.name;
+        }
+      }
+      EXPECT_EQ(context.spans().size(), ref_ctx.spans().size()) << run_id;
+      ++ref_it;
+    }
+  }
+#else
+  GTEST_SKIP() << "observability compiled out";
+#endif
 }
 
 TEST(CampaignGolden, SubjectHashesAreOrderIndependent) {

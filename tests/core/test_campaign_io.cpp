@@ -124,5 +124,17 @@ TEST(CampaignFingerprint, CachePathIsKeyedByFingerprint) {
   EXPECT_EQ(campaign_cache_path(base), campaign_cache_path(base));
 }
 
+TEST(CampaignFingerprint, CachePathSeparatesObsInstrumentedRuns) {
+  // An obs-instrumented campaign produces side artifacts (report, trace) a
+  // plain cache hit cannot regenerate, so the obs flag must key the path.
+  const ExperimentConfig base;
+  const std::string plain = campaign_cache_path(base, /*obs_instrumented=*/false);
+  const std::string obs = campaign_cache_path(base, /*obs_instrumented=*/true);
+  EXPECT_NE(plain, obs);
+  EXPECT_EQ(plain, campaign_cache_path(base));  // default is un-instrumented
+  EXPECT_NE(obs.find("_obs"), std::string::npos);
+  EXPECT_EQ(plain.find("_obs"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rdsim::core

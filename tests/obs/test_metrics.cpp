@@ -1,0 +1,227 @@
+// Known-answer and algebraic tests for the obs metrics layer: registry
+// invariants, exact histogram bucketing/quantiles against the registered
+// bucket bounds (no floating-point slop — quantiles return bound values),
+// and merge associativity/commutativity across shards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace rdsim::obs {
+namespace {
+
+// Test-local metrics. Registration is process-global, so names are
+// namespaced under test.* and registered once via function-local statics.
+MetricId test_counter() {
+  static const MetricId id = register_counter("test.counter", "test");
+  return id;
+}
+MetricId test_gauge() {
+  static const MetricId id = register_gauge("test.gauge", "test");
+  return id;
+}
+MetricId test_histogram() {
+  // 4 geometric buckets over [1, 16): bounds exactly 1, 2, 4, 8, 16.
+  static const MetricId id = register_histogram(
+      "test.histogram", "test", "", HistogramSpec{1.0, 16.0, 4});
+  return id;
+}
+
+TEST(ObsRegistry, RegistersKindsAndDefinitions) {
+  const MetricDef& counter = metric_def(test_counter());
+  EXPECT_EQ(counter.kind, MetricKind::kCounter);
+  EXPECT_EQ(counter.name, "test.counter");
+  EXPECT_EQ(find_metric("test.counter"), test_counter());
+  EXPECT_EQ(find_metric("test.definitely_not_registered"), metric_count());
+}
+
+TEST(ObsRegistry, RejectsDuplicateAndInvalidNames) {
+  test_counter();  // ensure registered
+  EXPECT_THROW(register_counter("test.counter", "dup"), std::logic_error);
+  EXPECT_THROW(register_counter("Bad Name!", "x"), std::invalid_argument);
+  EXPECT_THROW(register_counter("", "x"), std::invalid_argument);
+  EXPECT_THROW(register_histogram("test.badspec", "x", "", {4.0, 2.0, 8}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistry, CatalogIsRegistered) {
+  // The first-party catalog registers during static init; spot-check identity
+  // and that histogram bounds are pinned exactly at the spec endpoints.
+  EXPECT_EQ(metric_def(metric::kNetemEnqueued).name, "qdisc.netem.enqueued");
+  const MetricDef& age = metric_def(metric::kOpFrameAgeMillis);
+  ASSERT_EQ(age.kind, MetricKind::kHistogram);
+  ASSERT_EQ(age.bounds.size(), 49u);
+  EXPECT_EQ(age.bounds.front(), 1.0);
+  EXPECT_EQ(age.bounds.back(), 1e4);
+}
+
+TEST(ObsHistogram, GeometricBoundsAreExactPowersForPowerOfTwoSpan) {
+  const MetricDef& def = metric_def(test_histogram());
+  const std::vector<double> expected{1.0, 2.0, 4.0, 8.0, 16.0};
+  ASSERT_EQ(def.bounds.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(def.bounds[i], expected[i]) << "bound " << i;
+  }
+}
+
+TEST(ObsHistogram, KnownAnswerBucketingAndQuantiles) {
+  const MetricDef& def = metric_def(test_histogram());
+  // Bucket layout: [underflow)<1, [1,2), [2,4), [4,8), [8,16), overflow>=16.
+  EXPECT_EQ(histogram_bucket(def, 0.5), 0u);   // underflow
+  EXPECT_EQ(histogram_bucket(def, 1.0), 1u);
+  EXPECT_EQ(histogram_bucket(def, 1.999), 1u);
+  EXPECT_EQ(histogram_bucket(def, 2.0), 2u);
+  EXPECT_EQ(histogram_bucket(def, 7.999), 3u);
+  EXPECT_EQ(histogram_bucket(def, 8.0), 4u);
+  EXPECT_EQ(histogram_bucket(def, 16.0), 5u);  // overflow (>= max)
+  EXPECT_EQ(histogram_bucket(def, 1e9), 5u);
+  EXPECT_EQ(histogram_bucket(def, std::numeric_limits<double>::quiet_NaN()), 0u);
+
+  Context ctx;
+  // 10 samples: 4 in [1,2), 3 in [2,4), 2 in [4,8), 1 in [8,16).
+  for (const double v : {1.0, 1.2, 1.5, 1.9}) ctx.observe(test_histogram(), v);
+  for (const double v : {2.0, 3.0, 3.9}) ctx.observe(test_histogram(), v);
+  for (const double v : {4.5, 7.0}) ctx.observe(test_histogram(), v);
+  ctx.observe(test_histogram(), 9.0);
+
+  const HistogramCell* cell = ctx.histogram(test_histogram());
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 10u);
+  const std::vector<std::uint64_t> expected_counts{0, 4, 3, 2, 1, 0};
+  EXPECT_EQ(cell->counts, expected_counts);
+
+  // Quantiles resolve to the exact upper bound of the rank's bucket:
+  // ranks 1-4 -> bound 2, ranks 5-7 -> bound 4, 8-9 -> 8, 10 -> 16.
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.10), 2.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.40), 2.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.50), 4.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.70), 4.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.90), 8.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 1.00), 16.0);
+}
+
+TEST(ObsHistogram, UnderflowAndOverflowQuantileEndpoints) {
+  Context ctx;
+  ctx.observe(test_histogram(), 0.01);  // underflow
+  ctx.observe(test_histogram(), 99.0);  // overflow
+  const HistogramCell* cell = ctx.histogram(test_histogram());
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->counts.front(), 1u);
+  EXPECT_EQ(cell->counts.back(), 1u);
+  // Underflow rank resolves to the min bound; overflow clamps to the max.
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 0.25), 1.0);
+  EXPECT_EQ(histogram_quantile(*cell->def, *cell, 1.0), 16.0);
+}
+
+Context make_shard(unsigned salt) {
+  Context ctx;
+  for (unsigned i = 0; i <= salt; ++i) {
+    ctx.count(test_counter(), i + 1);
+    ctx.gauge_set(test_gauge(), static_cast<double>(salt * 10 + i));
+    ctx.observe(test_histogram(), 1.0 + static_cast<double>((salt + i) % 20));
+    ctx.timer_add(test_counter(), 100 * (salt + 1));
+  }
+  return ctx;
+}
+
+std::vector<std::uint64_t> histogram_counts(const Context& ctx) {
+  const HistogramCell* cell = ctx.histogram(test_histogram());
+  return cell != nullptr ? cell->counts : std::vector<std::uint64_t>{};
+}
+
+TEST(ObsMerge, AssociativeAndCommutativeAcrossShards) {
+  // (a + b) + c == a + (b + c) and order does not matter for every
+  // deterministic aggregate (counters, histogram counts, gauge min/max/sum).
+  const Context a = make_shard(0), b = make_shard(3), c = make_shard(7);
+
+  Context left;  // (a + b) + c
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+
+  Context bc;  // a + (b + c)
+  bc.merge_from(b);
+  bc.merge_from(c);
+  Context right;
+  right.merge_from(a);
+  right.merge_from(bc);
+
+  Context reversed;  // c + b + a
+  reversed.merge_from(c);
+  reversed.merge_from(b);
+  reversed.merge_from(a);
+
+  for (const Context* other : {&right, &reversed}) {
+    EXPECT_EQ(left.counter(test_counter()), other->counter(test_counter()));
+    EXPECT_EQ(histogram_counts(left), histogram_counts(*other));
+    const GaugeCell* lg = left.gauge(test_gauge());
+    const GaugeCell* og = other->gauge(test_gauge());
+    ASSERT_NE(lg, nullptr);
+    ASSERT_NE(og, nullptr);
+    EXPECT_EQ(lg->min, og->min);
+    EXPECT_EQ(lg->max, og->max);
+    EXPECT_EQ(lg->count, og->count);
+    const TimerCell* lt = left.timer(test_counter());
+    const TimerCell* ot = other->timer(test_counter());
+    ASSERT_NE(lt, nullptr);
+    ASSERT_NE(ot, nullptr);
+    EXPECT_EQ(lt->total_ns, ot->total_ns);
+    EXPECT_EQ(lt->count, ot->count);
+  }
+}
+
+TEST(ObsMerge, MergeEqualsSingleContextObservingEverything) {
+  // Sharding must be invisible: observing the same samples in one context or
+  // split across N merged shards yields identical deterministic state.
+  Context merged;
+  for (const unsigned salt : {0u, 3u, 7u}) merged.merge_from(make_shard(salt));
+
+  Context single;
+  for (const unsigned salt : {0u, 3u, 7u}) {
+    for (unsigned i = 0; i <= salt; ++i) {
+      single.count(test_counter(), i + 1);
+      single.gauge_set(test_gauge(), static_cast<double>(salt * 10 + i));
+      single.observe(test_histogram(), 1.0 + static_cast<double>((salt + i) % 20));
+      single.timer_add(test_counter(), 100 * (salt + 1));
+    }
+  }
+
+  EXPECT_EQ(merged.counter(test_counter()), single.counter(test_counter()));
+  EXPECT_EQ(histogram_counts(merged), histogram_counts(single));
+  ASSERT_NE(merged.gauge(test_gauge()), nullptr);
+  EXPECT_EQ(merged.gauge(test_gauge())->min, single.gauge(test_gauge())->min);
+  EXPECT_EQ(merged.gauge(test_gauge())->max, single.gauge(test_gauge())->max);
+  EXPECT_EQ(merged.gauge(test_gauge())->sum, single.gauge(test_gauge())->sum);
+}
+
+TEST(ObsContext, GaugeTracksLastMinMaxMeanCount) {
+  Context ctx;
+  EXPECT_EQ(ctx.gauge(test_gauge()), nullptr);  // untouched -> null
+  for (const double v : {5.0, 1.0, 9.0, 3.0}) ctx.gauge_set(test_gauge(), v);
+  const GaugeCell* g = ctx.gauge(test_gauge());
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->last, 3.0);
+  EXPECT_EQ(g->min, 1.0);
+  EXPECT_EQ(g->max, 9.0);
+  EXPECT_EQ(g->count, 4u);
+  EXPECT_DOUBLE_EQ(g->mean(), 4.5);
+}
+
+TEST(ObsContext, EmptyDetectsAnyActivity) {
+  Context ctx;
+  EXPECT_TRUE(ctx.empty());
+  ctx.count(test_counter(), 1);
+  EXPECT_FALSE(ctx.empty());
+
+  Context with_span;
+  const std::size_t h = with_span.span_open(test_counter(), util::TimePoint{});
+  with_span.span_close(h, util::TimePoint::from_micros(10));
+  EXPECT_FALSE(with_span.empty());
+}
+
+}  // namespace
+}  // namespace rdsim::obs

@@ -1,0 +1,105 @@
+// CampaignCollector and report export: run-id ordering, duplicate-id
+// folding, and a full parse of report_json() through json_check — the same
+// artifact the bench writes as BENCH_obs.json.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_check.hpp"
+#include "obs/report.hpp"
+
+namespace rdsim::obs {
+namespace {
+
+MetricId report_counter() {
+  static const MetricId id = register_counter("test.report_counter", "test");
+  return id;
+}
+MetricId report_gauge() {
+  static const MetricId id = register_gauge("test.report_gauge", "test");
+  return id;
+}
+MetricId report_histogram() {
+  static const MetricId id = register_histogram("test.report_histogram", "test",
+                                                "", HistogramSpec{1.0, 16.0, 4});
+  return id;
+}
+
+Context run_context(std::uint64_t n) {
+  Context ctx;
+  ctx.count(report_counter(), n);
+  ctx.gauge_set(report_gauge(), static_cast<double>(n));
+  ctx.observe(report_histogram(), static_cast<double>(n));
+  return ctx;
+}
+
+TEST(ObsReport, RunsIterateInRunIdOrderRegardlessOfSubmitOrder) {
+  CampaignCollector collector;
+  collector.submit_run("run-09", run_context(9));
+  collector.submit_run("run-01", run_context(1));
+  collector.submit_run("run-05", run_context(5));
+  ASSERT_EQ(collector.run_count(), 3u);
+  std::string previous;
+  for (const auto& [id, ctx] : collector.runs()) {
+    EXPECT_LT(previous, id);
+    previous = id;
+  }
+  EXPECT_EQ(collector.merged().counter(report_counter()), 15u);
+}
+
+TEST(ObsReport, DuplicateRunIdFoldsViaMerge) {
+  CampaignCollector collector;
+  collector.submit_run("run-01", run_context(3));
+  collector.submit_run("run-01", run_context(4));
+  ASSERT_EQ(collector.run_count(), 1u);
+  EXPECT_EQ(collector.runs().at("run-01").counter(report_counter()), 7u);
+}
+
+TEST(ObsReport, EmptyContextIsStillARun) {
+  CampaignCollector collector;
+  collector.submit_run("run-empty", Context{});
+  EXPECT_EQ(collector.run_count(), 1u);
+  EXPECT_TRUE(collector.runs().at("run-empty").empty());
+}
+
+TEST(ObsReport, ReportJsonParsesAndCarriesKnownValues) {
+  CampaignCollector collector;
+  collector.submit_run("run-01", run_context(2));
+  collector.submit_run("run-02", run_context(4));
+
+  const json_check::Value root = json_check::parse(collector.report_json());
+  EXPECT_EQ(root.at("schema").str(), "rdsim.obs.report/1");
+  EXPECT_EQ(root.at("compiled_in").boolean(), compiled_in());
+  EXPECT_EQ(static_cast<int>(root.at("runs").num()), 2);
+
+  const json_check::Value& campaign = root.at("campaign");
+  EXPECT_EQ(static_cast<int>(campaign.at("test.report_counter").num()), 6);
+  const json_check::Value& gauge = campaign.at("test.report_gauge");
+  EXPECT_EQ(gauge.at("min").num(), 2.0);
+  EXPECT_EQ(gauge.at("max").num(), 4.0);
+  EXPECT_EQ(static_cast<int>(gauge.at("count").num()), 2);
+  const json_check::Value& histogram = campaign.at("test.report_histogram");
+  EXPECT_EQ(static_cast<int>(histogram.at("count").num()), 2);
+  EXPECT_EQ(histogram.at("sum").num(), 6.0);
+
+  const json_check::Value& per_run = root.at("per_run");
+  EXPECT_EQ(static_cast<int>(
+                per_run.at("run-01").at("test.report_counter").num()),
+            2);
+  EXPECT_EQ(static_cast<int>(
+                per_run.at("run-02").at("test.report_counter").num()),
+            4);
+}
+
+TEST(ObsReport, ZeroCountersAreOmittedFromTheReport) {
+  CampaignCollector collector;
+  Context ctx;
+  ctx.gauge_set(report_gauge(), 1.0);  // counter never touched
+  collector.submit_run("run-01", std::move(ctx));
+  const json_check::Value root = json_check::parse(collector.report_json());
+  EXPECT_FALSE(root.at("campaign").has("test.report_counter"));
+  EXPECT_TRUE(root.at("campaign").has("test.report_gauge"));
+}
+
+}  // namespace
+}  // namespace rdsim::obs
