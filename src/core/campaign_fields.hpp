@@ -8,8 +8,14 @@
 //
 // The object type is a template parameter so the same list instantiates over
 // `T&` (reading into) and `const T&` (hashing / writing out). Archives
-// provide: f64, u32, u64, i32, sz (std::size_t), b (bool), str, and
-// vec(v, element_fn).
+// provide: f64, u32, u64, i32, sz (std::size_t), b (bool), str,
+// vec(v, element_fn), and opt_block(flag, fn) — a conditional block keyed on
+// a bool field. opt_block is how opt-in subsystems (mitigation) extend the
+// result types without perturbing existing golden hashes: the HashArchive
+// folds *nothing at all* when the flag is false, so a run with the
+// subsystem disabled hashes bit-identically to a build that predates it.
+// (The serialized blob always carries the presence byte — that format
+// change is what the campaign_io version bump covers.)
 #pragma once
 
 #include "core/experiment.hpp"
@@ -74,6 +80,9 @@ void qoe_fields(Ar& ar, T& q) {
   ar.qty(q.longest_freeze);
   ar.qty(q.staleness_sum);
   ar.sz(q.staleness_samples);
+  // QoeStats::transport is deliberately absent: it is a verbatim copy of
+  // the stream counters already folded by stream_stats_fields below, and
+  // double-hashing the copy would change every pre-existing golden hash.
 }
 
 template <typename Ar, typename T>  // T: [const] net::StreamStats
@@ -155,6 +164,55 @@ void trace_fields(Ar& ar, T& t) {
   });
 }
 
+template <typename Ar, typename T>  // T: [const] mitigate::MitigationSummary
+void mitigation_summary_fields(Ar& ar, T& m) {
+  ar.qty(m.dwell_nominal);
+  ar.qty(m.dwell_degraded);
+  ar.qty(m.dwell_impaired);
+  ar.qty(m.dwell_link_loss);
+  ar.u64(m.transitions);
+  ar.u64(m.interventions);
+  ar.u64(m.watchdog_firings);
+  ar.u64(m.mrm_activations);
+  ar.qty(m.mrm_time);
+  ar.b(m.mrm_standstill);
+  ar.qty(m.final_rtt);
+  ar.f64(m.final_loss);
+}
+
+template <typename Ar, typename T>  // T: [const] mitigate::MitigationConfig
+void mitigation_config_fields(Ar& ar, T& m) {
+  ar.qty(m.estimator.update_period);
+  ar.f64(m.estimator.rtt_alpha);
+  ar.f64(m.estimator.loss_alpha);
+  ar.qty(m.governor.degraded_rtt);
+  ar.f64(m.governor.degraded_loss);
+  ar.qty(m.governor.degraded_staleness);
+  ar.qty(m.governor.impaired_rtt);
+  ar.f64(m.governor.impaired_loss);
+  ar.qty(m.governor.impaired_staleness);
+  ar.qty(m.governor.link_loss_staleness);
+  ar.f64(m.governor.exit_margin);
+  ar.qty(m.governor.min_dwell);
+  ar.qty(m.governor.degraded.speed_cap);
+  ar.f64(m.governor.degraded.steer_rate_limit);
+  ar.f64(m.governor.degraded.throttle_scale);
+  ar.qty(m.governor.impaired.speed_cap);
+  ar.f64(m.governor.impaired.steer_rate_limit);
+  ar.f64(m.governor.impaired.throttle_scale);
+  ar.qty(m.governor.link_loss.speed_cap);
+  ar.f64(m.governor.link_loss.steer_rate_limit);
+  ar.f64(m.governor.link_loss.throttle_scale);
+  ar.qty(m.watchdog.deadline);
+  ar.qty(m.watchdog.recover_age);
+  ar.qty(m.watchdog.decel);
+  ar.f64(m.watchdog.lane_gain);
+  ar.f64(m.watchdog.heading_gain);
+  ar.f64(m.watchdog.max_steer);
+  ar.qty(m.watchdog.standstill);
+  ar.f64(m.watchdog.hold_brake);
+}
+
 template <typename Ar, typename T>  // T: [const] RunResult
 void run_fields(Ar& ar, T& r) {
   trace_fields(ar, r.trace);
@@ -171,6 +229,8 @@ void run_fields(Ar& ar, T& r) {
   ar.u64(r.frames_skipped_sender);
   ar.u64(r.safety_activations);
   ar.sz(r.faults_injected);
+  ar.opt_block(r.mitigation.enabled,
+               [&r](Ar& a) { mitigation_summary_fields(a, r.mitigation); });
 }
 
 template <typename Ar, typename T>  // T: [const] QuestionnaireResponse
@@ -202,6 +262,8 @@ void experiment_config_fields(Ar& ar, T& c) {
   ar.f64(c.poi_fault_probability);
   ar.vec(c.fault_weights, [](Ar& a, auto& w) { a.f64(w); });
   ar.qty(c.run_time_limit);
+  ar.opt_block(c.mitigation.enabled,
+               [&c](Ar& a) { mitigation_config_fields(a, c.mitigation); });
 }
 
 template <typename Ar, typename T>  // T: [const] CampaignResult

@@ -27,6 +27,17 @@ struct HashArchive {
     h.u64(v.size());
     for (const T& e : v) fn(*this, e);
   }
+  /// Conditional block: folds nothing when the flag is false, so objects
+  /// with the feature disabled hash exactly as they did before the block's
+  /// fields existed. When enabled, the flag itself is folded first so an
+  /// enabled-but-all-zero block cannot collide with a disabled one.
+  template <typename Fn>
+  void opt_block(const bool& flag, Fn fn) {
+    if (flag) {
+      h.boolean(true);
+      fn(*this);
+    }
+  }
 };
 
 }  // namespace

@@ -16,7 +16,8 @@ namespace rdsim::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x52444331;  // "RDC1"
-constexpr std::uint32_t kVersion = 1;
+// v2: opt_block presence bytes for the mitigation config/summary fields.
+constexpr std::uint32_t kVersion = 2;
 
 /// Archive writing the visited fields through a net::ByteWriter.
 struct WriteArchive {
@@ -37,6 +38,14 @@ struct WriteArchive {
   void vec(const std::vector<T>& v, Fn fn) {
     w.u32(static_cast<std::uint32_t>(v.size()));
     for (const T& e : v) fn(*this, e);
+  }
+  /// Conditional block. Unlike the hash archive (which must stay silent when
+  /// disabled, to preserve pre-existing digests) the wire format always
+  /// carries a presence byte — that is the v1 → v2 format change.
+  template <typename Fn>
+  void opt_block(const bool& flag, Fn fn) {
+    w.u8(flag ? 1 : 0);
+    if (flag) fn(*this);
   }
 };
 
@@ -75,6 +84,13 @@ struct ReadArchive {
       fn(*this, e);
       v.push_back(std::move(e));
     }
+  }
+  template <typename Fn>
+  void opt_block(bool& flag, Fn fn) {
+    const std::uint8_t raw = r.u8();
+    if (raw > 1) canonical = false;
+    flag = raw != 0;
+    if (flag) fn(*this);
   }
 };
 
@@ -181,6 +197,38 @@ std::uint64_t experiment_config_fingerprint(const ExperimentConfig& config) {
   h.f64(config.safety.max_command_age.value());
   h.f64(config.safety.brake_level);
   h.f64(config.safety.speed_cap.value());
+
+  // Mitigation knobs fold unconditionally (the cache key must separate an
+  // enabled campaign from its disabled twin, and two enabled campaigns with
+  // different thresholds from each other).
+  const mitigate::MitigationConfig& mit = config.mitigation;
+  h.boolean(mit.enabled);
+  h.f64(mit.estimator.update_period.value());
+  h.f64(mit.estimator.rtt_alpha);
+  h.f64(mit.estimator.loss_alpha);
+  h.f64(mit.governor.degraded_rtt.value());
+  h.f64(mit.governor.degraded_loss);
+  h.f64(mit.governor.degraded_staleness.value());
+  h.f64(mit.governor.impaired_rtt.value());
+  h.f64(mit.governor.impaired_loss);
+  h.f64(mit.governor.impaired_staleness.value());
+  h.f64(mit.governor.link_loss_staleness.value());
+  h.f64(mit.governor.exit_margin);
+  h.f64(mit.governor.min_dwell.value());
+  for (const mitigate::StateLimits* lim :
+       {&mit.governor.degraded, &mit.governor.impaired, &mit.governor.link_loss}) {
+    h.f64(lim->speed_cap.value());
+    h.f64(lim->steer_rate_limit);
+    h.f64(lim->throttle_scale);
+  }
+  h.f64(mit.watchdog.deadline.value());
+  h.f64(mit.watchdog.recover_age.value());
+  h.f64(mit.watchdog.decel.value());
+  h.f64(mit.watchdog.lane_gain);
+  h.f64(mit.watchdog.heading_gain);
+  h.f64(mit.watchdog.max_steer);
+  h.f64(mit.watchdog.standstill.value());
+  h.f64(mit.watchdog.hold_brake);
   return h.digest();
 }
 

@@ -34,9 +34,11 @@ void DriverModel::observe(const DisplayedView& view) {
   }
 }
 
-double DriverModel::display_staleness_s(util::TimePoint now) const {
-  if (!last_display_change_) return std::numeric_limits<double>::infinity();
-  return (now - *last_display_change_).to_seconds();
+units::Seconds DriverModel::display_staleness(util::TimePoint now) const {
+  if (!last_display_change_) {
+    return units::Seconds{std::numeric_limits<double>::infinity()};
+  }
+  return units::Seconds::from_duration(now - *last_display_change_);
 }
 
 double DriverModel::idm_accel(double speed, double target_speed,
@@ -94,7 +96,7 @@ DriverModel::Decision DriverModel::decide(util::TimePoint now) {
     // the image last changed) and *stale content* (the scene is older than
     // the driver's internal model expects — constant added network delay
     // does this even when the display updates smoothly).
-    const double staleness = display_staleness_s(now);
+    const double staleness = display_staleness(now).value();
     const double content_age =
         (now - util::TimePoint::from_micros(frame.sim_time_us)).to_seconds();
     const double nominal_stutter = 0.06;  // one frame period + display latency
@@ -247,7 +249,7 @@ DriverModel::Decision DriverModel::decide(util::TimePoint now) {
   if (frame.weather.night) target_speed *= 0.92;
 
   // Caution: a frozen or stuttering display makes the driver ease off.
-  const double staleness = display_staleness_s(now);
+  const double staleness = display_staleness(now).value();
   if (staleness > params_.freeze_caution_s && std::isfinite(staleness)) {
     const double severity =
         util::clamp((staleness - params_.freeze_caution_s) / 1.5, 0.0, 1.0);

@@ -116,8 +116,9 @@ class DriverModel {
 
   const DriverParams& params() const { return params_; }
 
-  /// Seconds since the display last changed (inf if never updated).
-  double display_staleness_s(util::TimePoint now) const;
+  /// Time since the display last changed (inf if never updated). Also the
+  /// staleness observable the mitigation link-quality estimator consumes.
+  units::Seconds display_staleness(util::TimePoint now) const;
 
  private:
   struct Decision {

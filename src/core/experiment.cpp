@@ -60,6 +60,7 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile,
     rc.rds = config_.rds;
     rc.safety = config_.safety;
     rc.driver = profile.driver;
+    rc.mitigation = config_.mitigation;
     rc.seed = util::splitmix64(profile.seed ^ 0x9e3779b97f4a7c15ULL);
     rc.replay = golden_replay;
     const std::string run_id = rc.run_id;
@@ -85,6 +86,7 @@ SubjectResult ExperimentHarness::run_subject(const SubjectProfile& profile,
     rc.rds = config_.rds;
     rc.safety = config_.safety;
     rc.driver = profile.driver;
+    rc.mitigation = config_.mitigation;
     rc.seed = util::splitmix64(profile.seed ^ 0xc2b2ae3d27d4eb4fULL);
     rc.replay = faulty_replay;
     const sim::Scenario scenario = make_run_scenario();

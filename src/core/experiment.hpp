@@ -32,6 +32,11 @@ struct ExperimentConfig {
   /// own time limit. The default 0 runs the full route; tests use small caps
   /// to exercise the whole pipeline on miniature campaigns.
   units::Seconds run_time_limit{};
+  /// Opt-in graceful-degradation + MRM stack, applied to every run of the
+  /// campaign. A mitigated campaign at the same seed keeps the exact fault
+  /// plans of its unmitigated twin (the plan RNG stream is independent of
+  /// mitigation), so the two form a paired ablation.
+  mitigate::MitigationConfig mitigation{};
 };
 
 struct SubjectResult {

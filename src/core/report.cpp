@@ -311,4 +311,93 @@ std::string render_questionnaire(const CampaignResult& campaign) {
   return os.str();
 }
 
+std::vector<MitigationRow> mitigation_rows(const CampaignResult& campaign) {
+  std::vector<MitigationRow> rows;
+  for (const SubjectResult* s : campaign.included()) {
+    const mitigate::MitigationSummary& m = s->faulty.mitigation;
+    MitigationRow row;
+    row.subject = s->profile.id;
+    row.dwell_nominal = m.dwell_nominal;
+    row.dwell_degraded = m.dwell_degraded;
+    row.dwell_impaired = m.dwell_impaired;
+    row.dwell_link_loss = m.dwell_link_loss;
+    row.interventions = m.interventions;
+    row.mrm_activations = m.mrm_activations;
+    row.mrm_time = m.mrm_time;
+    row.standstill = metrics::standstill_time(s->faulty.trace);
+    row.collisions = s->faulty.trace.collisions.size();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_mitigation(const CampaignResult& campaign) {
+  std::ostringstream os;
+  os << "Mitigation outcome (rdsim::mitigate, FI runs)\n";
+  if (!campaign.config.mitigation.enabled) {
+    os << "  mitigation disabled for this campaign\n";
+    return os.str();
+  }
+  os << "  " << pad("subj", 5) << pad("nominal", 9) << pad("degraded", 9)
+     << pad("impaired", 9) << pad("linkloss", 9) << pad("shaped", 8)
+     << pad("MRM", 5) << pad("MRM[s]", 8) << pad("stop[s]", 8) << "crash\n";
+  for (const MitigationRow& r : mitigation_rows(campaign)) {
+    os << "  " << pad(r.subject, 5) << pad(fmt(r.dwell_nominal.value(), 1), 9)
+       << pad(fmt(r.dwell_degraded.value(), 1), 9)
+       << pad(fmt(r.dwell_impaired.value(), 1), 9)
+       << pad(fmt(r.dwell_link_loss.value(), 1), 9)
+       << pad(std::to_string(r.interventions), 8)
+       << pad(std::to_string(r.mrm_activations), 5)
+       << pad(fmt(r.mrm_time.value(), 1), 8)
+       << pad(fmt(r.standstill.value(), 1), 8) << r.collisions << "\n";
+  }
+  return os.str();
+}
+
+std::string render_mitigation_ablation(const CampaignResult& baseline,
+                                       const CampaignResult& mitigated) {
+  const CollisionSummary base = collision_summary(baseline);
+  const CollisionSummary mit = collision_summary(mitigated);
+  std::ostringstream os;
+  os << "Mitigation ablation (same seed: paired fault plans)\n";
+  os << "  " << pad("", 26) << pad("baseline", 10) << "mitigated\n";
+  os << "  " << pad("faulty-run collisions", 26)
+     << pad(std::to_string(base.faulty_total_collisions), 10)
+     << mit.faulty_total_collisions << "\n";
+  os << "  " << pad("subjects that crashed", 26)
+     << pad(std::to_string(base.faulty_subjects_collided), 10)
+     << mit.faulty_subjects_collided << "\n";
+  // Per-fault attribution: the paper's crash faults are the interesting rows.
+  for (const std::string& label : fault_labels()) {
+    const auto b = base.faulty_by_label.find(label);
+    const auto m = mit.faulty_by_label.find(label);
+    const std::size_t bc = b == base.faulty_by_label.end() ? 0 : b->second;
+    const std::size_t mc = m == mit.faulty_by_label.end() ? 0 : m->second;
+    if (bc == 0 && mc == 0) continue;
+    os << "  " << pad("  collisions under " + label, 26)
+       << pad(std::to_string(bc), 10) << mc << "\n";
+  }
+  // Completion cost: mitigation trades time for safety.
+  auto mean_duration = [](const CampaignResult& c) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const SubjectResult* s : c.included()) {
+      sum += s->faulty.duration.value();
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  };
+  auto completed = [](const CampaignResult& c) {
+    std::size_t n = 0;
+    for (const SubjectResult* s : c.included()) n += s->faulty.completed ? 1 : 0;
+    return n;
+  };
+  os << "  " << pad("mean FI duration [s]", 26)
+     << pad(fmt(mean_duration(baseline), 1), 10) << fmt(mean_duration(mitigated), 1)
+     << "\n";
+  os << "  " << pad("FI runs completed", 26) << pad(std::to_string(completed(baseline)), 10)
+     << completed(mitigated) << "\n";
+  return os.str();
+}
+
 }  // namespace rdsim::core::report

@@ -69,6 +69,30 @@ std::string render_collision_analysis(const CampaignResult& campaign);
 // ----- §VI.F questionnaire -----
 std::string render_questionnaire(const CampaignResult& campaign);
 
+// ----- mitigation outcome (rdsim::mitigate ablation) -----
+/// Per-subject mitigation columns of the faulty (FI) run: governor state
+/// dwell times, command interventions, and MRM episodes. Meaningful only
+/// for campaigns run with ExperimentConfig::mitigation.enabled.
+struct MitigationRow {
+  std::string subject;
+  units::Seconds dwell_nominal{};
+  units::Seconds dwell_degraded{};
+  units::Seconds dwell_impaired{};
+  units::Seconds dwell_link_loss{};
+  std::uint64_t interventions{0};
+  std::uint64_t mrm_activations{0};
+  units::Seconds mrm_time{};
+  units::Seconds standstill{};  ///< metrics::standstill_time of the FI trace
+  std::size_t collisions{0};    ///< FI-run collisions
+};
+std::vector<MitigationRow> mitigation_rows(const CampaignResult& campaign);
+std::string render_mitigation(const CampaignResult& campaign);
+
+/// Side-by-side safety outcome of a mitigated campaign and its unmitigated
+/// twin (same seed => identical fault plans, so rows pair exactly).
+std::string render_mitigation_ablation(const CampaignResult& baseline,
+                                       const CampaignResult& mitigated);
+
 /// The subjects whose steering (Table IV) / lead-velocity (Table III) data
 /// the paper lost; used by the masking options.
 bool paper_missing_srr(const std::string& subject, bool faulty_run);

@@ -50,6 +50,14 @@ TeleopSession::TeleopSession(RunConfig config, sim::Scenario scenario)
                   &vehicle_.runtime().scenario(), &vehicle_.world().road(),
                   util::Random{config_.seed, 0x647269766572ULL}});
 
+  if (config_.mitigation.enabled) {
+    estimator_ = std::make_unique<mitigate::LinkQualityEstimator>(
+        config_.mitigation.estimator);
+    governor_ = std::make_unique<mitigate::DegradationGovernor>(
+        config_.mitigation.governor);
+    vehicle_.enable_mitigation(config_.mitigation.watchdog);
+  }
+
   comms_dt_ = util::Duration::seconds(1.0 / rds.comms_hz);
   physics_dt_ = util::Duration::seconds(1.0 / rds.physics_hz);
   next_physics_ = clock_.now();
@@ -94,20 +102,37 @@ void TeleopSession::pump_video(util::TimePoint now) {
     video_stream_->step(now);
     while (auto msg = video_stream_->pop_delivered()) {
       if (auto decoded = sim::WorldFrame::decode(msg->bytes)) {
+        if (governor_) perceived_speed_ = units::MetersPerSecond{decoded->ego.state.speed()};
         operator_->on_frame(*decoded, now);
       }
     }
   } else {
     while (auto msg = video_dgram_->receive_latest()) {
       if (auto decoded = sim::WorldFrame::decode(msg->bytes)) {
+        if (governor_) perceived_speed_ = units::MetersPerSecond{decoded->ego.state.speed()};
         operator_->on_frame(*decoded, now);
       }
     }
   }
 }
 
+void TeleopSession::update_mitigation(util::TimePoint now) {
+  // Estimation reads only observables that already exist: the transports'
+  // own stats and the display staleness the driver model experiences. With
+  // datagram transports there is no SRTT/retransmit telemetry and the
+  // governor acts on staleness alone.
+  const bool refreshed = estimator_->update(
+      video_stream_ ? &video_stream_->stats() : nullptr,
+      command_stream_ ? &command_stream_->stats() : nullptr,
+      operator_->driver().display_staleness(now), now);
+  if (refreshed) governor_->update(estimator_->quality(), now);
+}
+
 void TeleopSession::pump_commands(util::TimePoint now) {
   if (auto cmd = operator_->poll(now)) {
+    // The governor sits between the driver's wheel and the uplink: in any
+    // state but NOMINAL it shapes the command under the state's limits.
+    if (governor_) cmd->control = governor_->shape(cmd->control, perceived_speed_, now);
     if (command_stream_) {
       command_stream_->send_message(cmd->encode(),
                                     config_.rds.video.command_wire_bytes, now);
@@ -168,6 +193,10 @@ bool TeleopSession::step() {
     RDSIM_OBS_TIMER(obs::metric::kPhaseRouter);
     router_.poll(now);
   }
+  if (estimator_) {
+    RDSIM_OBS_TIMER(obs::metric::kPhaseMitigate);
+    update_mitigation(now);
+  }
   {
     RDSIM_OBS_TIMER(obs::metric::kPhaseCommands);
     pump_commands(now);
@@ -204,6 +233,35 @@ RunResult TeleopSession::run() {
   result.frames_skipped_sender = frames_skipped_sender_;
   result.safety_activations = vehicle_.safety_activations();
   result.faults_injected = injector_.injections();
+
+  // Transport QoE: one source of truth — the streams' own StreamStats,
+  // summed over both directions (zero with datagram transports).
+  result.qoe.transport.retransmits_rto =
+      result.video_stats.retransmits_rto + result.command_stats.retransmits_rto;
+  result.qoe.transport.retransmits_fast =
+      result.video_stats.retransmits_fast + result.command_stats.retransmits_fast;
+  result.qoe.transport.stale_segments =
+      result.video_stats.stale_segments + result.command_stats.stale_segments;
+
+  if (governor_) {
+    governor_->finalize(clock_.now());
+    mitigate::MitigationSummary& m = result.mitigation;
+    m.enabled = true;
+    m.dwell_nominal = governor_->dwell(mitigate::LinkState::kNominal);
+    m.dwell_degraded = governor_->dwell(mitigate::LinkState::kDegraded);
+    m.dwell_impaired = governor_->dwell(mitigate::LinkState::kImpaired);
+    m.dwell_link_loss = governor_->dwell(mitigate::LinkState::kLinkLoss);
+    m.transitions = governor_->transitions();
+    m.interventions = governor_->interventions();
+    const mitigate::MrmController* mrm = vehicle_.mrm();
+    m.watchdog_firings = mrm->watchdog_firings();
+    m.mrm_activations = mrm->activations();
+    m.mrm_time = mrm->engaged_time();
+    m.mrm_standstill = mrm->reached_standstill();
+    m.final_rtt = estimator_->quality().rtt;
+    m.final_loss = estimator_->quality().loss;
+  }
+
   result.trace = recorder_.take();
   return result;
 }

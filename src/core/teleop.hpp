@@ -16,6 +16,8 @@
 #include "core/operator_subsystem.hpp"
 #include "core/subjects.hpp"
 #include "core/vehicle_subsystem.hpp"
+#include "mitigate/governor.hpp"
+#include "mitigate/link_quality.hpp"
 #include "net/datagram.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_stream.hpp"
@@ -39,6 +41,10 @@ struct RunConfig {
   RdsConfig rds{};
   SafetyMonitorConfig safety{};
   DriverParams driver{};
+  /// Opt-in graceful-degradation + MRM stack (rdsim::mitigate). Disabled by
+  /// default and bit-exactly inert when disabled: no component is built and
+  /// the run's hash is unchanged.
+  mitigate::MitigationConfig mitigation{};
   std::uint64_t seed{1};
   /// When set, every physics tick appends a (frame hash, network hash) pair
   /// so two runs can be diffed to the first divergent tick. Borrowed; must
@@ -64,6 +70,10 @@ struct RunResult {
   std::uint64_t frames_skipped_sender{0};
   std::uint64_t safety_activations{0};
   std::size_t faults_injected{0};
+
+  /// Mitigation outcome; `enabled` false (and all fields zero) unless the
+  /// run was configured with RunConfig::mitigation.enabled.
+  mitigate::MitigationSummary mitigation{};
 };
 
 class TeleopSession {
@@ -83,11 +93,14 @@ class TeleopSession {
   net::FaultInjector& injector() { return injector_; }
   const net::Channel& channel() const { return channel_; }
   bool finished() const { return finished_; }
+  /// The operator-side governor, or nullptr when mitigation is disabled.
+  const mitigate::DegradationGovernor* governor() const { return governor_.get(); }
 
  private:
   void update_fault_plan();
   void pump_video(util::TimePoint now);
   void pump_commands(util::TimePoint now);
+  void update_mitigation(util::TimePoint now);
 
   RunConfig config_;
   util::VirtualClock clock_;
@@ -104,6 +117,11 @@ class TeleopSession {
   VehicleSubsystem vehicle_;
   std::unique_ptr<OperatorSubsystem> operator_;
   trace::TraceRecorder recorder_;
+
+  // Mitigation (operator side); null unless config_.mitigation.enabled.
+  std::unique_ptr<mitigate::LinkQualityEstimator> estimator_;
+  std::unique_ptr<mitigate::DegradationGovernor> governor_;
+  units::MetersPerSecond perceived_speed_{};  ///< ego speed of the last decoded frame
 
   util::Duration comms_dt_{};
   util::Duration physics_dt_{};

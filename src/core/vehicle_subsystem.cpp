@@ -14,6 +14,12 @@ void VehicleSubsystem::step_physics(units::Seconds dt) {
   world_.step(dt);
   runtime_.step();
   if (safety_.enabled) apply_safety(world_.now());
+  if (mrm_ != nullptr) apply_mrm(world_.now(), dt);
+}
+
+void VehicleSubsystem::enable_mitigation(const mitigate::WatchdogConfig& watchdog) {
+  mrm_ = std::make_unique<mitigate::MrmController>(watchdog,
+                                                   config_.vehicle.max_brake_decel);
 }
 
 std::optional<VehicleSubsystem::EncodedFrame> VehicleSubsystem::maybe_encode_frame(
@@ -42,6 +48,10 @@ void VehicleSubsystem::on_command(const CommandMsg& msg, util::TimePoint now) {
   last_command_sent_us_ = msg.sent_at_us;
   latched_control_ = msg.control;
   ++commands_applied_;
+
+  // While the MRM holds the vehicle the remote command is latched (so the
+  // operator resumes from their latest input on release) but not applied.
+  if (mrm_ != nullptr && mrm_->engaged()) return;
 
   sim::VehicleControl applied = latched_control_;
   if (safety_.enabled && safety_engaged_) {
@@ -76,6 +86,14 @@ void VehicleSubsystem::apply_safety(util::TimePoint now) {
     degraded.throttle = 0.0;
     degraded.brake = std::max(degraded.brake, safety_.brake_level);
     world_.apply_ego_control(degraded);
+  }
+}
+
+void VehicleSubsystem::apply_mrm(util::TimePoint now, units::Seconds dt) {
+  const units::MetersPerSecond speed{world_.ego().vehicle().forward_speed()};
+  if (auto control = mrm_->update(command_age(now), speed, world_.project_ego(),
+                                  dt, now)) {
+    world_.apply_ego_control(*control);
   }
 }
 

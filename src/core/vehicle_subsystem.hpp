@@ -3,10 +3,12 @@
 // the QoS information (command age) that safety measures can act on.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
+#include "mitigate/mrm.hpp"
 #include "sim/scenario.hpp"
 #include "util/rng.hpp"
 
@@ -59,8 +61,16 @@ class VehicleSubsystem {
   std::uint64_t safety_activations() const { return safety_activations_; }
   bool safety_engaged() const { return safety_engaged_; }
 
+  /// Arm the vehicle-side command watchdog + MRM controller (rdsim::mitigate).
+  /// Never called when mitigation is disabled, keeping disabled runs
+  /// bit-identical to builds without the subsystem.
+  void enable_mitigation(const mitigate::WatchdogConfig& watchdog);
+  /// The armed MRM controller, or nullptr.
+  const mitigate::MrmController* mrm() const { return mrm_.get(); }
+
  private:
   void apply_safety(util::TimePoint now);
+  void apply_mrm(util::TimePoint now, units::Seconds dt);
 
   RdsConfig config_;
   SafetyMonitorConfig safety_;
@@ -80,6 +90,8 @@ class VehicleSubsystem {
 
   bool safety_engaged_{false};
   std::uint64_t safety_activations_{0};
+
+  std::unique_ptr<mitigate::MrmController> mrm_;  ///< null unless mitigating
 };
 
 }  // namespace rdsim::core

@@ -134,4 +134,19 @@ std::optional<units::Seconds> traversal_time(const trace::RunTrace& run,
   return std::nullopt;
 }
 
+units::Seconds standstill_time(const trace::RunTrace& run,
+                               units::MetersPerSecond threshold) {
+  double total = 0.0;
+  bool moved_off = false;
+  for (std::size_t i = 1; i < run.ego.size(); ++i) {
+    const auto& a = run.ego[i - 1];
+    const auto& b = run.ego[i];
+    const double speed = std::hypot(a.vx, a.vy);
+    if (speed > threshold.value()) moved_off = true;
+    // Interval [a, b] counts as stopped when it starts at/below threshold.
+    if (moved_off && speed <= threshold.value()) total += b.t - a.t;
+  }
+  return units::Seconds{total};
+}
+
 }  // namespace rdsim::metrics

@@ -69,4 +69,12 @@ std::optional<units::Seconds> traversal_time(const trace::RunTrace& run,
                                              units::Meters dist_from,
                                              units::Meters dist_to);
 
+/// Total time the ego spent at or below `threshold` speed, excluding the
+/// initial standstill before it first moves off. Quantifies what an MRM
+/// costs: an unmitigated run rolls through an outage, a mitigated run parks
+/// until the link returns. Sampled at the trace's log rate.
+units::Seconds standstill_time(const trace::RunTrace& run,
+                               units::MetersPerSecond threshold =
+                                   units::MetersPerSecond{0.3});
+
 }  // namespace rdsim::metrics

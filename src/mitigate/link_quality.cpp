@@ -1,0 +1,96 @@
+#include "mitigate/link_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/contracts.hpp"
+
+namespace rdsim::mitigate {
+
+namespace {
+
+/// Sum of first transmissions over the present streams.
+std::uint64_t total_first_tx(const net::StreamStats* a, const net::StreamStats* b) {
+  std::uint64_t n = 0;
+  if (a != nullptr) n += a->segments_sent;
+  if (b != nullptr) n += b->segments_sent;
+  return n;
+}
+
+std::uint64_t total_retx(const net::StreamStats* a, const net::StreamStats* b) {
+  std::uint64_t n = 0;
+  if (a != nullptr) n += a->retransmits_rto + a->retransmits_fast;
+  if (b != nullptr) n += b->retransmits_rto + b->retransmits_fast;
+  return n;
+}
+
+}  // namespace
+
+LinkQualityEstimator::LinkQualityEstimator(EstimatorConfig config)
+    : config_{config} {
+  RDSIM_REQUIRE(config_.update_period > units::Seconds{},
+                "estimator update period must be positive");
+  RDSIM_REQUIRE(config_.rtt_alpha > 0.0 && config_.rtt_alpha <= 1.0,
+                "rtt_alpha must be in (0, 1]");
+  RDSIM_REQUIRE(config_.loss_alpha > 0.0 && config_.loss_alpha <= 1.0,
+                "loss_alpha must be in (0, 1]");
+}
+
+bool LinkQualityEstimator::update(const net::StreamStats* video,
+                                  const net::StreamStats* command,
+                                  units::Seconds staleness, util::TimePoint now) {
+  if (first_update_) {
+    next_update_ = now;
+    first_update_ = false;
+  }
+  if (now < next_update_) return false;
+  next_update_ += config_.update_period.to_duration();
+
+  // Staleness is an instantaneous observable: +inf means no frame has been
+  // displayed yet (cold start, not a network fault) — report it invalid so
+  // the governor does not escalate before the pipeline has produced output.
+  if (std::isfinite(staleness.value())) {
+    RDSIM_REQUIRE(staleness >= units::Seconds{}, "staleness cannot be negative");
+    quality_.staleness = staleness;
+    quality_.staleness_valid = true;
+  }
+
+  // RTT: the transports already smooth their RTT estimate (RFC 6298 SRTT);
+  // fold the worst live stream through a second, slower EWMA so the
+  // governor sees a stable signal rather than per-ACK jitter.
+  units::Millis srtt_sample{};
+  if (video != nullptr) srtt_sample = std::max(srtt_sample, video->srtt);
+  if (command != nullptr) srtt_sample = std::max(srtt_sample, command->srtt);
+  if (srtt_sample > units::Millis{}) {
+    quality_.rtt = rtt_seeded_
+                       ? quality_.rtt + config_.rtt_alpha * (srtt_sample - quality_.rtt)
+                       : srtt_sample;
+    rtt_seeded_ = true;
+    quality_.rtt_valid = true;
+  }
+
+  // Loss: retransmit fraction over this estimation window. Retransmissions
+  // are the transport's own reaction to loss, so the fraction tracks the
+  // injected loss rate without any second tally (one source of truth).
+  const std::uint64_t first_tx = total_first_tx(video, command);
+  const std::uint64_t retx = total_retx(video, command);
+  RDSIM_REQUIRE(first_tx >= prev_first_tx_ && retx >= prev_retx_,
+                "stream counters must be monotone");
+  const std::uint64_t d_first = first_tx - prev_first_tx_;
+  const std::uint64_t d_retx = retx - prev_retx_;
+  prev_first_tx_ = first_tx;
+  prev_retx_ = retx;
+  if (d_first + d_retx > 0) {
+    const double sample = static_cast<double>(d_retx) /
+                          static_cast<double>(d_first + d_retx);
+    quality_.loss = loss_seeded_
+                        ? quality_.loss + config_.loss_alpha * (sample - quality_.loss)
+                        : sample;
+    loss_seeded_ = true;
+  }
+  RDSIM_ENSURE(quality_.loss >= 0.0 && quality_.loss <= 1.0,
+               "loss fraction must stay in [0, 1]");
+  return true;
+}
+
+}  // namespace rdsim::mitigate

@@ -102,6 +102,23 @@ const MetricId kSimWorldStep =
 const MetricId kSimCollision =
     register_counter("sim.collisions", "Collision events sensed");
 
+// ---- mitigation ----
+const MetricId kMitStateTransitions = register_counter(
+    "mitigate.state_transitions", "DegradationGovernor state changes");
+const MetricId kMitState = register_gauge(
+    "mitigate.state", "Current governor LinkState (0=NOMINAL..3=LINK_LOSS)",
+    "state");
+const MetricId kMitInterventions = register_counter(
+    "mitigate.interventions", "Outgoing commands the governor modified");
+const MetricId kMitWatchdogFired = register_counter(
+    "mitigate.watchdog_fired", "Vehicle-side command-stale deadline crossings");
+const MetricId kMitMrmActivations = register_counter(
+    "mitigate.mrm_activations", "Minimal-risk maneuvers started");
+const MetricId kMitStateSpan = register_counter(
+    "mitigate.state_windows", "Traced non-NOMINAL governor windows");
+const MetricId kMitMrmSpan =
+    register_counter("mitigate.mrm_windows", "Traced MRM windows");
+
 // ---- teleop tick phases ----
 const MetricId kPhaseStep =
     register_timer("teleop.phase.step", "Wall time of a whole session tick");
@@ -115,6 +132,8 @@ const MetricId kPhaseRouter =
     register_timer("teleop.phase.router", "Wall time in packet routing");
 const MetricId kPhaseCommands =
     register_timer("teleop.phase.commands", "Wall time in the command pipeline");
+const MetricId kPhaseMitigate = register_timer(
+    "teleop.phase.mitigate", "Wall time in link estimation and the governor");
 
 // ---- per-run rollup ----
 const MetricId kRunWall =

@@ -53,6 +53,15 @@ extern const MetricId kOpFreezeSpan;              ///< traced display freezes
 extern const MetricId kSimWorldStep;              ///< wall time in World::step
 extern const MetricId kSimCollision;              ///< instant collision markers
 
+// ---- mitigation (rdsim::mitigate) ----
+extern const MetricId kMitStateTransitions;       ///< governor state changes
+extern const MetricId kMitState;                  ///< current LinkState (gauge)
+extern const MetricId kMitInterventions;          ///< commands the governor shaped
+extern const MetricId kMitWatchdogFired;          ///< command-stale deadline crossings
+extern const MetricId kMitMrmActivations;         ///< minimal-risk maneuvers started
+extern const MetricId kMitStateSpan;              ///< traced non-NOMINAL windows (lane = state)
+extern const MetricId kMitMrmSpan;                ///< traced MRM windows
+
 // ---- teleop session tick phases (wall time) ----
 extern const MetricId kPhaseStep;
 extern const MetricId kPhasePhysics;
@@ -60,6 +69,7 @@ extern const MetricId kPhaseFaults;
 extern const MetricId kPhaseVideo;
 extern const MetricId kPhaseRouter;
 extern const MetricId kPhaseCommands;
+extern const MetricId kPhaseMitigate;
 
 // ---- per-run rollup ----
 extern const MetricId kRunWall;                   ///< wall time of a whole run

@@ -193,4 +193,12 @@ WorldFrame World::snapshot() const {
   return f;
 }
 
+RoadProjection World::project_ego() const {
+  const Actor& e = ego();
+  RoadProjection proj =
+      road_.project(e.state().position, e.track_position().value());
+  proj.heading_error = util::wrap_angle(e.state().heading - road_.heading_at(proj.s));
+  return proj;
+}
+
 }  // namespace rdsim::sim

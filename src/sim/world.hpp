@@ -84,6 +84,11 @@ class World {
   /// Semantic camera frame of the current state.
   WorldFrame snapshot() const;
 
+  /// The ego's road projection with heading_error filled in — the pose
+  /// information a vehicle-side fallback controller (e.g. the mitigation
+  /// MRM's in-lane stop) needs to hold its lane without the operator.
+  RoadProjection project_ego() const;
+
   /// Events recorded since construction (the trace logger drains copies).
   const std::vector<CollisionEvent>& collisions() const { return collisions_; }
   const std::vector<LaneInvasionEvent>& lane_invasions() const { return invasions_; }

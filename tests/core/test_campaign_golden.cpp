@@ -263,6 +263,147 @@ TEST(CampaignGolden, ObsAggregationIsWorkerCountIndependent) {
 #endif
 }
 
+// ---- mitigated corpus --------------------------------------------------
+// The same miniature campaigns with the rdsim::mitigate stack enabled at its
+// default thresholds. A second, independent table: the unmitigated corpus
+// above proves the stack is bit-exactly inert when disabled; this one pins
+// the mitigated behaviour itself against drift.
+
+ExperimentConfig mitigated_config(std::uint64_t seed) {
+  ExperimentConfig cfg = golden_config(seed);
+  cfg.mitigation.enabled = true;
+  return cfg;
+}
+
+const CampaignResult& mitigated_campaign(std::uint64_t seed) {
+  static std::map<std::uint64_t, CampaignResult> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(seed,
+                      ExperimentHarness{mitigated_config(seed)}.run_campaign())
+             .first;
+  }
+  return it->second;
+}
+
+// ---- mitigated golden corpus (regenerate via the failure output) ----
+constexpr GoldenEntry kGoldenMitigated[] = {
+    {7,
+     0x5bde6b42557307c2ULL,
+     {0xe4520281d74983ffULL, 0x6b5f5c282513905eULL, 0x56a371b4dda8e777ULL,
+      0xc8198d332d656af2ULL, 0xdc0c5e202c06db70ULL, 0xfa2ecc1334d903a3ULL,
+      0xac8b9f8852d073e3ULL, 0xb7fb41079d6f36d4ULL, 0xffa8b5283564f76dULL,
+      0x4951ad3746f90816ULL, 0x6fb8f44d478ac60cULL, 0xc87062dd0d849ca7ULL}},
+    {11,
+     0x1c42d0d35be2f09eULL,
+     {0x50426df62ea0e919ULL, 0x2ea542dc67d21400ULL, 0xc8414434fc02c1f3ULL,
+      0x744333dde4274bcaULL, 0x3c2426fe2e48d241ULL, 0xd85ca8019127ef80ULL,
+      0x716f25dbaad47712ULL, 0xbcd13ac0a283edb3ULL, 0x96caa372bf6a165dULL,
+      0x0eab7a81cd36bf79ULL, 0x8a9ec84f2b2099ddULL, 0xe38778fa6826729bULL}},
+    {42,
+     0x6692e9547d0fa5f0ULL,
+     {0xbf3b878dba2a0e12ULL, 0x9294ab9a568e27e4ULL, 0xbaa98f6e009e1166ULL,
+      0x73d5570b9a309caeULL, 0x34cca7b9a0cda096ULL, 0x19361f7ec5415e17ULL,
+      0xe972265c0cd8958cULL, 0x8dce7659c6b5574dULL, 0x259bc769605bc521ULL,
+      0xa68124f3fac38633ULL, 0x760eda7b042b1e41ULL, 0x0c77ed972ea3c2fcULL}},
+};
+
+std::string render_mitigated_table() {
+  std::string out = "constexpr GoldenEntry kGoldenMitigated[] = {\n";
+  char buf[64];
+  for (const GoldenEntry& entry : kGoldenMitigated) {
+    const CampaignResult& campaign = mitigated_campaign(entry.seed);
+    std::snprintf(buf, sizeof buf, "    {%llu,\n     0x%016llxULL,\n     {",
+                  static_cast<unsigned long long>(entry.seed),
+                  static_cast<unsigned long long>(check::campaign_hash(campaign)));
+    out += buf;
+    for (std::size_t i = 0; i < campaign.subjects.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "0x%016llxULL",
+                    static_cast<unsigned long long>(
+                        check::hash_subject(campaign.subjects[i])));
+      out += buf;
+      if (i + 1 < campaign.subjects.size())
+        out += (i % 3 == 2) ? ",\n      " : ", ";
+    }
+    out += "}},\n";
+  }
+  out += "};\n";
+  return out;
+}
+
+TEST(CampaignGoldenMitigated, HashCorpusMatchesCheckedInTable) {
+  for (const GoldenEntry& entry : kGoldenMitigated) {
+    const ExperimentHarness harness{mitigated_config(entry.seed)};
+    const CampaignResult& campaign = mitigated_campaign(entry.seed);
+    ASSERT_EQ(campaign.subjects.size(), 12u);
+    if (check::campaign_hash(campaign) == entry.campaign) continue;
+
+    std::string detail = "mitigated campaign_hash drifted for seed " +
+                         std::to_string(entry.seed) + ".\n";
+    for (std::size_t i = 0; i < campaign.subjects.size(); ++i) {
+      if (check::hash_subject(campaign.subjects[i]) != entry.subjects[i]) {
+        detail += "first divergent subject: index " + std::to_string(i) + " (" +
+                  campaign.subjects[i].profile.id + ")\n";
+        detail += diagnose_subject(harness, campaign.subjects[i].profile) + "\n";
+        break;
+      }
+    }
+    ADD_FAILURE() << detail << "\nreplacement table:\n"
+                  << render_mitigated_table();
+    return;
+  }
+}
+
+TEST(CampaignGoldenMitigated, MitigationActuallyEngagesInTheCorpus) {
+  // Guard against a vacuous mitigated corpus: across the three seeds the
+  // governor must leave NOMINAL somewhere and the summaries must be present
+  // on every run.
+  double non_nominal_dwell = 0.0;
+  std::uint64_t interventions = 0;
+  for (const GoldenEntry& entry : kGoldenMitigated) {
+    for (const SubjectResult& s : mitigated_campaign(entry.seed).subjects) {
+      ASSERT_TRUE(s.golden.mitigation.enabled);
+      ASSERT_TRUE(s.faulty.mitigation.enabled);
+      non_nominal_dwell += s.faulty.mitigation.dwell_degraded.value() +
+                           s.faulty.mitigation.dwell_impaired.value() +
+                           s.faulty.mitigation.dwell_link_loss.value();
+      interventions += s.faulty.mitigation.interventions;
+    }
+  }
+  EXPECT_GT(non_nominal_dwell, 0.0);
+  EXPECT_GT(interventions, 0u);
+}
+
+TEST(CampaignGoldenMitigated, ParallelMatchesSerialForEveryWorkerCount) {
+  // Mitigation state lives entirely inside the per-run session (no RNG, no
+  // globals), so the pooled runner must stay bit-identical with it enabled.
+  const GoldenEntry& entry = kGoldenMitigated[2];
+  ASSERT_EQ(entry.seed, 42u);
+  const std::uint64_t serial_hash =
+      check::campaign_hash(mitigated_campaign(entry.seed));
+  const ExperimentHarness harness{mitigated_config(entry.seed)};
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const CampaignResult parallel = harness.run_campaign_parallel(workers);
+    ASSERT_EQ(check::campaign_hash(parallel), serial_hash)
+        << "mitigated campaign diverged at " << workers << " workers";
+  }
+}
+
+TEST(CampaignGoldenMitigated, DisabledMitigationDoesNotChangeTheHash) {
+  // The structural non-interference claim at the campaign level: a config
+  // with mitigation disabled produces exactly the unmitigated corpus hash
+  // (the opt_block folds nothing), so the two tables can never cross-talk.
+  for (const GoldenEntry& entry : kGolden) {
+    ExperimentConfig cfg = golden_config(entry.seed);
+    cfg.mitigation.enabled = false;  // explicit: the default
+    const CampaignResult campaign = ExperimentHarness{cfg}.run_campaign();
+    ASSERT_EQ(check::campaign_hash(campaign), entry.campaign)
+        << "disabled mitigation perturbed seed " << entry.seed;
+    break;  // one seed proves the plumbing; the full corpus runs above
+  }
+}
+
 TEST(CampaignGolden, SubjectHashesAreOrderIndependent) {
   // SplitMix sub-seeding makes each subject a pure function of (campaign
   // seed, roster index): running one subject in isolation must reproduce its

@@ -94,6 +94,35 @@ TEST(CampaignIo, LoadRejectsMissingAndCorruptFiles) {
   std::remove(path.c_str());
 }
 
+TEST(CampaignIo, RoundTripPreservesMitigationBlocks) {
+  // A mitigated campaign carries the opt_block payloads (config knobs and
+  // per-run summaries); they must survive the wire format bit-exactly.
+  ExperimentConfig cfg;
+  cfg.seed = 42;
+  cfg.run_time_limit = units::Seconds{6.0};
+  cfg.mitigation.enabled = true;
+  const CampaignResult campaign = ExperimentHarness{cfg}.run_campaign();
+  const std::uint64_t expected = check::campaign_hash(campaign);
+
+  const std::vector<std::uint8_t> blob = serialize_campaign(campaign);
+  const auto loaded = deserialize_campaign(blob);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(check::campaign_hash(*loaded), expected);
+  ASSERT_TRUE(loaded->config.mitigation.enabled);
+  EXPECT_EQ(loaded->config.mitigation.governor.min_dwell.value(),
+            cfg.mitigation.governor.min_dwell.value());
+  for (std::size_t i = 0; i < campaign.subjects.size(); ++i) {
+    const mitigate::MitigationSummary& in = campaign.subjects[i].faulty.mitigation;
+    const mitigate::MitigationSummary& out = loaded->subjects[i].faulty.mitigation;
+    ASSERT_TRUE(out.enabled);
+    EXPECT_EQ(out.transitions, in.transitions);
+    EXPECT_EQ(out.mrm_activations, in.mrm_activations);
+    EXPECT_EQ(out.dwell_degraded.value(), in.dwell_degraded.value());
+    EXPECT_EQ(out.final_loss, in.final_loss);
+  }
+  EXPECT_EQ(serialize_campaign(*loaded), blob);
+}
+
 TEST(CampaignFingerprint, DistinguishesEveryCampaignShapingField) {
   const ExperimentConfig base;
   const std::uint64_t fp = experiment_config_fingerprint(base);
@@ -111,9 +140,16 @@ TEST(CampaignFingerprint, DistinguishesEveryCampaignShapingField) {
   rds.rds.station.video_fps = 29.0;
   ExperimentConfig safety = base;
   safety.safety.enabled = !safety.safety.enabled;
-  for (const auto* changed : {&seed, &poi, &weights, &cap, &rds, &safety}) {
+  ExperimentConfig mit = base;
+  mit.mitigation.enabled = true;
+  ExperimentConfig mit_knob = mit;
+  mit_knob.mitigation.watchdog.deadline = units::Seconds{0.8};
+  for (const auto* changed : {&seed, &poi, &weights, &cap, &rds, &safety, &mit}) {
     EXPECT_NE(experiment_config_fingerprint(*changed), fp);
   }
+  // Two enabled campaigns with different thresholds must not share a cache.
+  EXPECT_NE(experiment_config_fingerprint(mit_knob),
+            experiment_config_fingerprint(mit));
 }
 
 TEST(CampaignFingerprint, CachePathIsKeyedByFingerprint) {

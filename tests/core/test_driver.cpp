@@ -122,9 +122,9 @@ TEST(DriverModel, NoFramesMeansNoCommands) {
 
 TEST(DriverModel, StalenessReporting) {
   DriverHarness h;
-  EXPECT_TRUE(std::isinf(h.driver.display_staleness_s(h.now)));
+  EXPECT_TRUE(std::isinf(h.driver.display_staleness(h.now).value()));
   h.run(1.0);
-  EXPECT_LT(h.driver.display_staleness_s(h.now), 0.05);
+  EXPECT_LT(h.driver.display_staleness(h.now).value(), 0.05);
 }
 
 TEST(DriverModel, FrozenDisplaySlowsTheDriver) {

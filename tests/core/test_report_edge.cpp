@@ -51,6 +51,46 @@ TEST(ReportEdge, FaultLabelsMatchPaperColumns) {
   EXPECT_EQ(labels[4], "5%");
 }
 
+TEST(ReportEdge, MitigationTableFallsBackWhenDisabled) {
+  CampaignResult campaign;  // mitigation.enabled defaults to false
+  const auto rendered = report::render_mitigation(campaign);
+  EXPECT_NE(rendered.find("mitigation disabled"), std::string::npos);
+}
+
+TEST(ReportEdge, MitigationRowsReportTheFaultyRunSummary) {
+  CampaignResult campaign;
+  campaign.config.mitigation.enabled = true;
+  SubjectResult s;
+  s.profile = make_roster()[0];
+  s.faulty.mitigation.enabled = true;
+  s.faulty.mitigation.dwell_nominal = units::Seconds{7.5};
+  s.faulty.mitigation.dwell_impaired = units::Seconds{2.5};
+  s.faulty.mitigation.interventions = 42;
+  s.faulty.mitigation.mrm_activations = 1;
+  s.faulty.mitigation.mrm_time = units::Seconds{1.25};
+  s.faulty.trace.collisions.push_back({3.0, 90, sim::ActorId{2}, "static_vehicle", 1.0});
+  campaign.subjects.push_back(std::move(s));
+
+  const auto rows = report::mitigation_rows(campaign);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].dwell_nominal.value(), 7.5);
+  EXPECT_DOUBLE_EQ(rows[0].dwell_impaired.value(), 2.5);
+  EXPECT_EQ(rows[0].interventions, 42u);
+  EXPECT_EQ(rows[0].mrm_activations, 1u);
+  EXPECT_EQ(rows[0].collisions, 1u);
+
+  const auto rendered = report::render_mitigation(campaign);
+  EXPECT_NE(rendered.find(rows[0].subject), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+
+  // The ablation renderer pairs any two campaigns without crashing, even
+  // when one side is empty.
+  const CampaignResult empty;
+  const auto ablation = report::render_mitigation_ablation(empty, campaign);
+  EXPECT_NE(ablation.find("baseline"), std::string::npos);
+  EXPECT_NE(ablation.find("mitigated"), std::string::npos);
+}
+
 TEST(ReportEdge, ExcludedSubjectNeverAppears) {
   CampaignResult campaign;
   SubjectResult t7;

@@ -156,5 +156,46 @@ TEST(TraversalTime, MeasuresSegmentDuration) {
   EXPECT_FALSE(traversal_time(t, units::Meters{50.0}, units::Meters{40.0}).has_value());
 }
 
+TEST(StandstillTime, CountsMidRunStopsOnly) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 600; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    // Parked for 2 s (pre-drive standstill: excluded), drives for 10 s,
+    // stops for 8 s (an MRM hold: counted), drives again.
+    if (e.t < 2.0 || (e.t >= 12.0 && e.t < 20.0)) {
+      e.vx = 0.0;
+    } else {
+      e.vx = 8.0;
+    }
+    t.ego.push_back(e);
+  }
+  EXPECT_NEAR(standstill_time(t).value(), 8.0, 0.1);
+}
+
+TEST(StandstillTime, ZeroWhenNeverStoppingAndOnEmptyTraces) {
+  trace::RunTrace moving;
+  for (int i = 0; i <= 100; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.vx = 6.0;
+    moving.ego.push_back(e);
+  }
+  EXPECT_DOUBLE_EQ(standstill_time(moving).value(), 0.0);
+  EXPECT_DOUBLE_EQ(standstill_time(trace::RunTrace{}).value(), 0.0);
+}
+
+TEST(StandstillTime, ThresholdSelectsWhatCountsAsStopped) {
+  trace::RunTrace t;
+  for (int i = 0; i <= 200; ++i) {
+    trace::EgoSample e;
+    e.t = i * 0.05;
+    e.vx = e.t < 5.0 ? 8.0 : 1.0;  // crawls at 1 m/s after 5 s
+    t.ego.push_back(e);
+  }
+  EXPECT_DOUBLE_EQ(standstill_time(t, units::MetersPerSecond{0.3}).value(), 0.0);
+  EXPECT_NEAR(standstill_time(t, units::MetersPerSecond{1.5}).value(), 5.0, 0.1);
+}
+
 }  // namespace
 }  // namespace rdsim::metrics

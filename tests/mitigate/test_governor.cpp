@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mitigate/governor.hpp"
+#include "util/rng.hpp"
+
+namespace rdsim::mitigate {
+namespace {
+
+using util::TimePoint;
+
+LinkQuality quality(double rtt_ms, double loss, double staleness_s) {
+  LinkQuality q;
+  q.rtt = units::Millis{rtt_ms};
+  q.rtt_valid = rtt_ms > 0.0;
+  q.loss = loss;
+  q.staleness = units::Seconds{staleness_s};
+  q.staleness_valid = true;
+  return q;
+}
+
+TEST(DegradationGovernor, StartsNominalAndStaysThereOnAHealthyLink) {
+  DegradationGovernor gov{{}};
+  for (int i = 0; i < 100; ++i) {
+    gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(0.05 * i));
+  }
+  EXPECT_EQ(gov.state(), LinkState::kNominal);
+  EXPECT_EQ(gov.transitions(), 0u);
+}
+
+TEST(DegradationGovernor, EntersTheStateWhoseThresholdIsExceeded) {
+  GovernorConfig cfg;
+  DegradationGovernor gov{cfg};
+  gov.update(quality(50.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  EXPECT_EQ(gov.state(), LinkState::kDegraded);  // rtt >= 40 ms
+
+  DegradationGovernor gov2{cfg};
+  gov2.update(quality(15.0, 0.05, 0.05), TimePoint::from_seconds(0.0));
+  EXPECT_EQ(gov2.state(), LinkState::kImpaired);  // loss >= 4 %
+}
+
+TEST(DegradationGovernor, EscalationJumpsLevelsDirectly) {
+  DegradationGovernor gov{{}};
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  ASSERT_EQ(gov.state(), LinkState::kNominal);
+  // A dead link (huge staleness) must not pass through DEGRADED first.
+  gov.update(quality(15.0, 0.0, 2.0), TimePoint::from_seconds(1.5));
+  EXPECT_EQ(gov.state(), LinkState::kLinkLoss);
+  EXPECT_EQ(gov.transitions(), 1u);
+}
+
+TEST(DegradationGovernor, DeEscalationStepsOneLevelPerDwell) {
+  GovernorConfig cfg;
+  cfg.min_dwell = units::Seconds{1.0};
+  DegradationGovernor gov{cfg};
+  gov.update(quality(15.0, 0.0, 2.0), TimePoint::from_seconds(0.0));
+  ASSERT_EQ(gov.state(), LinkState::kLinkLoss);
+
+  // Fully recovered link: the governor walks back one level per dwell.
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(1.0));
+  EXPECT_EQ(gov.state(), LinkState::kImpaired);
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(1.5));
+  EXPECT_EQ(gov.state(), LinkState::kImpaired);  // dwell not yet served
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(2.0));
+  EXPECT_EQ(gov.state(), LinkState::kDegraded);
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(3.0));
+  EXPECT_EQ(gov.state(), LinkState::kNominal);
+}
+
+TEST(DegradationGovernor, HysteresisHoldsTheStateInsideTheExitBand) {
+  GovernorConfig cfg;
+  cfg.min_dwell = units::Seconds{0.0};  // isolate the hysteresis itself
+  DegradationGovernor gov{cfg};
+  gov.update(quality(45.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  ASSERT_EQ(gov.state(), LinkState::kDegraded);
+  // 35 ms is below the 40 ms enter threshold but above 0.7 * 40 = 28 ms:
+  // the state holds.
+  gov.update(quality(35.0, 0.0, 0.05), TimePoint::from_seconds(0.05));
+  EXPECT_EQ(gov.state(), LinkState::kDegraded);
+  // Below the exit threshold it releases.
+  gov.update(quality(20.0, 0.0, 0.05), TimePoint::from_seconds(0.10));
+  EXPECT_EQ(gov.state(), LinkState::kNominal);
+}
+
+TEST(DegradationGovernor, DwellAccountingCoversTheWholeTimeline) {
+  DegradationGovernor gov{{}};
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  gov.update(quality(100.0, 0.0, 0.05), TimePoint::from_seconds(2.0));
+  ASSERT_EQ(gov.state(), LinkState::kImpaired);
+  gov.finalize(TimePoint::from_seconds(5.0));
+  EXPECT_DOUBLE_EQ(gov.dwell(LinkState::kNominal).value(), 2.0);
+  EXPECT_DOUBLE_EQ(gov.dwell(LinkState::kImpaired).value(), 3.0);
+  const double total = gov.dwell(LinkState::kNominal).value() +
+                       gov.dwell(LinkState::kDegraded).value() +
+                       gov.dwell(LinkState::kImpaired).value() +
+                       gov.dwell(LinkState::kLinkLoss).value();
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(DegradationGovernor, NominalShapeIsBitExactPassThrough) {
+  DegradationGovernor gov{{}};
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  const sim::VehicleControl in{0.73, -0.41, 0.02, false, false};
+  const sim::VehicleControl out =
+      gov.shape(in, units::MetersPerSecond{30.0}, TimePoint::from_seconds(0.0));
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(gov.interventions(), 0u);
+}
+
+TEST(DegradationGovernor, DegradedShapeScalesThrottleAndCapsSpeed) {
+  GovernorConfig cfg;
+  DegradationGovernor gov{cfg};
+  gov.update(quality(50.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  ASSERT_EQ(gov.state(), LinkState::kDegraded);
+
+  // Under the cap: throttle scaled, no braking.
+  sim::VehicleControl in{1.0, 0.0, 0.0, false, false};
+  sim::VehicleControl out =
+      gov.shape(in, units::MetersPerSecond{5.0}, TimePoint::from_seconds(0.0));
+  EXPECT_DOUBLE_EQ(out.throttle, cfg.degraded.throttle_scale);
+  EXPECT_DOUBLE_EQ(out.brake, 0.0);
+  EXPECT_EQ(gov.interventions(), 1u);
+
+  // Over the cap: throttle lifted, proportional brake.
+  out = gov.shape(in, units::MetersPerSecond{15.0}, TimePoint::from_seconds(0.033));
+  EXPECT_DOUBLE_EQ(out.throttle, 0.0);
+  EXPECT_GT(out.brake, 0.0);
+}
+
+TEST(DegradationGovernor, SteeringRateIsLimitedFromTheDriversLastPosition) {
+  GovernorConfig cfg;
+  cfg.min_dwell = units::Seconds{0.0};
+  DegradationGovernor gov{cfg};
+
+  // One nominal shape records the wheel at -0.5.
+  gov.update(quality(15.0, 0.0, 0.05), TimePoint::from_seconds(0.0));
+  gov.shape({0.0, -0.5, 0.0, false, false}, units::MetersPerSecond{5.0},
+            TimePoint::from_seconds(0.0));
+
+  // Then the link degrades and the driver slams the wheel to +1.0. With the
+  // degraded rate limit and dt = 0.1 s the wheel may move at most
+  // steer_rate_limit * 0.1 — far short of the commanded position.
+  gov.update(quality(50.0, 0.0, 0.05), TimePoint::from_seconds(0.05));
+  ASSERT_EQ(gov.state(), LinkState::kDegraded);
+  const sim::VehicleControl out =
+      gov.shape({0.0, 1.0, 0.0, false, false}, units::MetersPerSecond{5.0},
+                TimePoint::from_seconds(0.1));
+  EXPECT_NEAR(out.steer, -0.5 + cfg.degraded.steer_rate_limit * 0.1, 1e-12);
+}
+
+// Satellite: 1000-iteration randomized hysteresis fuzz. Whatever quality
+// sequence the link produces, the governor must never flap states faster
+// than the configured dwell minimum, must keep its dwell accounting
+// consistent with its transition count, and must stay monotone-safe.
+TEST(DegradationGovernor, FuzzNeverFlapsFasterThanMinDwell) {
+  util::Random rng{0xF17E57, 0x676f76ULL};  // seed-pinned: deterministic run
+  for (int iter = 0; iter < 1000; ++iter) {
+    GovernorConfig cfg;
+    cfg.min_dwell = units::Seconds{rng.uniform(0.2, 2.0)};
+    cfg.exit_margin = rng.uniform(0.3, 1.0);
+    DegradationGovernor gov{cfg};
+
+    double t = 0.0;
+    double t_first = -1.0;  // dwell accounting starts at the first update
+    double last_transition = 0.0;
+    bool any_transition = false;
+    std::uint64_t transitions_seen = 0;
+    LinkState prev = gov.state();
+    for (int step = 0; step < 60; ++step) {
+      t += rng.uniform(0.01, 0.2);
+      if (t_first < 0.0) t_first = t;
+      // Adversarial quality: frequently straddles the thresholds.
+      const LinkQuality q = quality(rng.uniform(0.0, 160.0),
+                                    rng.uniform(0.0, 0.08),
+                                    rng.uniform(0.0, 2.5));
+      const LinkState next = gov.update(q, TimePoint::from_seconds(t));
+      if (next != prev) {
+        ++transitions_seen;
+        if (any_transition) {
+          ASSERT_GE(t - last_transition, cfg.min_dwell.value() - 1e-9)
+              << "state flap faster than min_dwell at iter " << iter;
+        }
+        // De-escalation must be stepwise; escalation may jump.
+        if (next < prev) {
+          ASSERT_EQ(static_cast<int>(next), static_cast<int>(prev) - 1)
+              << "de-escalation skipped a level at iter " << iter;
+        }
+        last_transition = t;
+        any_transition = true;
+        prev = next;
+      }
+    }
+    ASSERT_EQ(gov.transitions(), transitions_seen);
+    gov.finalize(TimePoint::from_seconds(t));
+    double total = 0.0;
+    for (std::size_t s = 0; s < kLinkStateCount; ++s) {
+      total += gov.dwell(static_cast<LinkState>(s)).value();
+    }
+    ASSERT_NEAR(total, t - t_first, 1e-6)
+        << "dwell accounting leaked time at iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace rdsim::mitigate

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "mitigate/mrm.hpp"
+
+namespace rdsim::mitigate {
+namespace {
+
+using util::TimePoint;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr units::MetersPerSecond2 kFullBrake{8.0};
+constexpr units::Seconds kDt{0.01};
+
+MrmController make_mrm() { return MrmController{WatchdogConfig{}, kFullBrake}; }
+
+sim::RoadProjection centered() { return {}; }
+
+TEST(MrmController, DoesNotArmBeforeTheFirstCommand) {
+  MrmController mrm = make_mrm();
+  // +inf age = operator never had control: pre-handover grace.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(mrm.update(units::Seconds{kInf}, units::MetersPerSecond{10.0},
+                            centered(), kDt, TimePoint::from_seconds(0.01 * i)));
+  }
+  EXPECT_EQ(mrm.watchdog_firings(), 0u);
+  EXPECT_EQ(mrm.activations(), 0u);
+}
+
+TEST(MrmController, EngagesWhenCommandsGoStaleAndBrakes) {
+  MrmController mrm = make_mrm();
+  EXPECT_FALSE(mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0},
+                          centered(), kDt, TimePoint::from_seconds(0.0)));
+  const auto control = mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0},
+                                  centered(), kDt, TimePoint::from_seconds(0.01));
+  ASSERT_TRUE(control.has_value());
+  EXPECT_TRUE(mrm.engaged());
+  EXPECT_EQ(mrm.watchdog_firings(), 1u);
+  EXPECT_EQ(mrm.activations(), 1u);
+  EXPECT_DOUBLE_EQ(control->throttle, 0.0);
+  // Service braking: 3.5 m/s² of an 8 m/s² plant.
+  EXPECT_DOUBLE_EQ(control->brake, 3.5 / 8.0);
+  EXPECT_DOUBLE_EQ(control->steer, 0.0);  // centred, aligned: no correction
+}
+
+TEST(MrmController, SteersBackTowardTheLaneCentre) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  sim::RoadProjection proj;
+  proj.lane_offset = 1.0;    // one metre left of centre
+  proj.heading_error = 0.1;  // pointing slightly left
+  const auto control = mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0},
+                                  proj, kDt, TimePoint::from_seconds(0.01));
+  ASSERT_TRUE(control.has_value());
+  const WatchdogConfig cfg;
+  // Left of centre and pointing left: both corrections steer right (negative).
+  EXPECT_NEAR(control->steer,
+              -(cfg.lane_gain * 1.0 + cfg.heading_gain * 0.1), 1e-12);
+  EXPECT_LT(control->steer, 0.0);
+}
+
+TEST(MrmController, SteerAuthorityIsClamped) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  sim::RoadProjection proj;
+  proj.lane_offset = -50.0;  // absurd offset must not command full lock
+  const auto control = mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0},
+                                  proj, kDt, TimePoint::from_seconds(0.01));
+  ASSERT_TRUE(control.has_value());
+  EXPECT_DOUBLE_EQ(control->steer, WatchdogConfig{}.max_steer);
+}
+
+TEST(MrmController, HoldsTheVehicleAtStandstill) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.01));
+  ASSERT_TRUE(mrm.engaged());
+  // Stopped, commands still stale: hold brake, stay engaged.
+  const auto hold = mrm.update(units::Seconds{1.0}, units::MetersPerSecond{0.05},
+                               centered(), kDt, TimePoint::from_seconds(0.02));
+  ASSERT_TRUE(hold.has_value());
+  EXPECT_DOUBLE_EQ(hold->brake, WatchdogConfig{}.hold_brake);
+  EXPECT_TRUE(mrm.reached_standstill());
+}
+
+TEST(MrmController, ReleasesOnlyWhenStoppedAndCommandsAreFreshAgain) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.01));
+  ASSERT_TRUE(mrm.engaged());
+
+  // Commands return mid-deceleration: the maneuver is committed, no release.
+  EXPECT_TRUE(mrm.update(units::Seconds{0.05}, units::MetersPerSecond{6.0},
+                         centered(), kDt, TimePoint::from_seconds(0.02))
+                  .has_value());
+  EXPECT_TRUE(mrm.engaged());
+
+  // Stopped but commands stale again: still engaged.
+  EXPECT_TRUE(mrm.update(units::Seconds{0.9}, units::MetersPerSecond{0.0},
+                         centered(), kDt, TimePoint::from_seconds(0.03))
+                  .has_value());
+
+  // Stopped AND fresh: hand back to the operator.
+  EXPECT_FALSE(mrm.update(units::Seconds{0.05}, units::MetersPerSecond{0.0},
+                          centered(), kDt, TimePoint::from_seconds(0.04))
+                   .has_value());
+  EXPECT_FALSE(mrm.engaged());
+  EXPECT_EQ(mrm.activations(), 1u);
+}
+
+TEST(MrmController, ReArmsForASecondEpisode) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  // Episode 1: engage, stop, release.
+  mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.01));
+  mrm.update(units::Seconds{0.7}, units::MetersPerSecond{0.0}, centered(), kDt,
+             TimePoint::from_seconds(0.02));
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{0.0}, centered(), kDt,
+             TimePoint::from_seconds(0.03));
+  ASSERT_FALSE(mrm.engaged());
+  // Episode 2.
+  mrm.update(units::Seconds{0.6}, units::MetersPerSecond{8.0}, centered(), kDt,
+             TimePoint::from_seconds(1.0));
+  EXPECT_TRUE(mrm.engaged());
+  EXPECT_EQ(mrm.activations(), 2u);
+  EXPECT_EQ(mrm.watchdog_firings(), 2u);
+}
+
+TEST(MrmController, EngagedTimeAccumulatesWhileEngagedOnly) {
+  MrmController mrm = make_mrm();
+  mrm.update(units::Seconds{0.05}, units::MetersPerSecond{10.0}, centered(), kDt,
+             TimePoint::from_seconds(0.0));
+  EXPECT_DOUBLE_EQ(mrm.engaged_time().value(), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    mrm.update(units::Seconds{0.6}, units::MetersPerSecond{10.0}, centered(), kDt,
+               TimePoint::from_seconds(0.01 + 0.01 * i));
+  }
+  EXPECT_NEAR(mrm.engaged_time().value(), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdsim::mitigate

@@ -108,5 +108,120 @@ TEST(FaultInjector, MultipleWindowsInSequence) {
   EXPECT_EQ(inj.log()[2].fault.kind, FaultKind::kPacketLoss);
 }
 
+// ---- scheduled-window edge cases --------------------------------------
+// The window predicate is [start, stop): these tests pin the boundary
+// semantics the campaign relies on — a tick landing exactly on `stop` ends
+// the fault, a zero-duration window can never start, and overlapping
+// windows follow change semantics without the earlier window's expiry
+// tearing down the later fault.
+
+TEST(FaultInjectorWindows, ZeroDurationWindowNeverStarts) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 25.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(1.0));
+  // Even a tick landing exactly on the degenerate instant must not inject:
+  // now >= start but now < stop is already false.
+  for (double t : {0.5, 1.0, 1.5}) {
+    inj.step(TimePoint::from_seconds(t));
+    EXPECT_FALSE(inj.active()) << "t=" << t;
+  }
+  EXPECT_EQ(inj.injections(), 0u);
+  EXPECT_TRUE(inj.log().empty());
+}
+
+TEST(FaultInjectorWindows, WindowEndingExactlyOnTickBoundaryRemoves) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  // stop = 2.0 is an exact multiple of the 0.25 s stepping below: the fault
+  // must be gone *at* the boundary tick, not one tick later.
+  inj.schedule({FaultKind::kDelay, 25.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(2.0));
+  for (double t = 0.0; t < 2.0; t += 0.25) {
+    inj.step(TimePoint::from_seconds(t));
+    EXPECT_EQ(inj.active(), t >= 1.0) << "t=" << t;
+  }
+  inj.step(TimePoint::from_seconds(2.0));
+  EXPECT_FALSE(inj.active());
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_DOUBLE_EQ(inj.log()[1].timestamp.to_seconds(), 2.0);
+}
+
+TEST(FaultInjectorWindows, StartEqualToTickBoundaryStarts) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 5.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(3.0));
+  inj.step(TimePoint::from_seconds(1.0));  // now == start is inside [start, stop)
+  EXPECT_TRUE(inj.active());
+}
+
+TEST(FaultInjectorWindows, OverlappingWindowsFollowChangeSemantics) {
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 25.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(3.0));
+  inj.schedule({FaultKind::kPacketLoss, 0.05}, TimePoint::from_seconds(2.0),
+               TimePoint::from_seconds(4.0));
+
+  inj.step(TimePoint::from_seconds(1.0));
+  ASSERT_TRUE(inj.active());
+  EXPECT_EQ(inj.active_fault()->kind, FaultKind::kDelay);
+
+  // Second window opens while the first is live: the later fault replaces
+  // the earlier one on the device (tc change, not add).
+  inj.step(TimePoint::from_seconds(2.0));
+  ASSERT_TRUE(inj.active());
+  EXPECT_EQ(inj.active_fault()->kind, FaultKind::kPacketLoss);
+  EXPECT_DOUBLE_EQ(tc.netem_config("lo")->loss_probability.value(), 0.05);
+
+  // First window expires at 3.0 — but its fault is no longer the active
+  // one, so the expiry must NOT tear down the loss fault.
+  inj.step(TimePoint::from_seconds(3.0));
+  ASSERT_TRUE(inj.active());
+  EXPECT_EQ(inj.active_fault()->kind, FaultKind::kPacketLoss);
+
+  inj.step(TimePoint::from_seconds(4.0));
+  EXPECT_FALSE(inj.active());
+  EXPECT_EQ(inj.injections(), 2u);
+}
+
+TEST(FaultInjectorWindows, IdenticalOverlappingFaultsExpireWithTheFirstStop) {
+  // Pathological but allowed: two overlapping windows carrying the *same*
+  // fault. The first expiry removes the rule (the specs compare equal);
+  // the still-open second window does not resurrect it — schedule() windows
+  // inject on their start tick only. This pins the current semantics so a
+  // refactor cannot silently change them.
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  const FaultSpec spec{FaultKind::kDelay, 25.0};
+  inj.schedule(spec, TimePoint::from_seconds(1.0), TimePoint::from_seconds(3.0));
+  inj.schedule(spec, TimePoint::from_seconds(2.0), TimePoint::from_seconds(5.0));
+  inj.step(TimePoint::from_seconds(1.0));
+  inj.step(TimePoint::from_seconds(2.0));  // second window starts: change to same
+  EXPECT_EQ(inj.injections(), 2u);
+  inj.step(TimePoint::from_seconds(3.0));
+  EXPECT_FALSE(inj.active());  // first stop removes the (equal) active fault
+  inj.step(TimePoint::from_seconds(4.0));
+  EXPECT_FALSE(inj.active());  // the open second window does not re-inject
+  inj.step(TimePoint::from_seconds(5.0));
+  EXPECT_FALSE(inj.active());
+  EXPECT_FALSE(tc.has_netem("lo"));
+}
+
+TEST(FaultInjectorWindows, StepPastWholeWindowInOneTickStillInjects) {
+  // A coarse stepper can jump from before the window to inside it; the
+  // injector must catch up on the first tick at-or-after start.
+  TrafficControl tc;
+  FaultInjector inj{tc, "lo"};
+  inj.schedule({FaultKind::kDelay, 5.0}, TimePoint::from_seconds(1.0),
+               TimePoint::from_seconds(1.2));
+  inj.step(TimePoint::from_seconds(0.0));
+  inj.step(TimePoint::from_seconds(1.1));  // lands inside the window
+  EXPECT_TRUE(inj.active());
+  inj.step(TimePoint::from_seconds(1.2));
+  EXPECT_FALSE(inj.active());
+}
+
 }  // namespace
 }  // namespace rdsim::net

@@ -50,7 +50,9 @@ CONVERSION_LAYER = {
 # filters and the road builder are generic numeric utilities. Ratchet: lower
 # these when a file migrates further; never raise one.
 BASELINE = {
-    "src/core/driver.hpp": 20,
+    # 19 documented DriverParams model gains; display_staleness() migrated to
+    # units::Seconds when the mitigation estimator started consuming it.
+    "src/core/driver.hpp": 19,
     "src/util/filters.hpp": 5,
     "src/util/filters.cpp": 2,
     "src/sim/road.hpp": 4,
