@@ -25,7 +25,7 @@ void BM_NetemEnqueueDequeue(benchmark::State& state) {
     p.wire_size = 1000;
     q.enqueue(std::move(p), util::TimePoint::from_micros(t));
     t += 100;
-    benchmark::DoNotOptimize(q.dequeue_ready(util::TimePoint::from_micros(t - 5000)));
+    benchmark::DoNotOptimize(q.drain(util::TimePoint::from_micros(t - 5000)));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -101,16 +101,23 @@ void BM_FrameEncodeDecode(benchmark::State& state) {
 BENCHMARK(BM_FrameEncodeDecode);
 
 void BM_TeleopTick(benchmark::State& state) {
-  core::RunConfig rc;
-  rc.run_id = "bm";
-  rc.subject_id = "bm";
-  rc.driver = core::DriverParams{};
-  rc.seed = 5;
-  core::TeleopSession session{std::move(rc), sim::make_test_route_scenario()};
+  const auto make_session = [] {
+    core::RunConfig rc;
+    rc.run_id = "bm";
+    rc.subject_id = "bm";
+    rc.driver = core::DriverParams{};
+    rc.seed = 5;
+    return std::make_unique<core::TeleopSession>(std::move(rc),
+                                                 sim::make_test_route_scenario());
+  };
+  auto session = make_session();
   for (auto _ : state) {
-    if (!session.step()) {
-      state.SkipWithError("run ended inside benchmark");
-      break;
+    if (!session->step()) {
+      // A session holds a finite number of ticks; start a fresh run off the
+      // clock when the benchmark outlasts it.
+      state.PauseTiming();
+      session = make_session();
+      state.ResumeTiming();
     }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

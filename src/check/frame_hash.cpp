@@ -60,7 +60,7 @@ std::uint64_t hash_qdisc(const net::Qdisc& qdisc) {
   h.u64(s.reordered);
   h.u64(s.bytes_sent);
   h.u64(qdisc.backlog());
-  if (const auto next = qdisc.next_event()) h.i64(next->count_micros());
+  if (const auto next = qdisc.next_event_at()) h.i64(next->count_micros());
   return h.digest();
 }
 

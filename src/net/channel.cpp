@@ -8,35 +8,58 @@ constexpr std::uint32_t kDownFlow = 0;
 constexpr std::uint32_t kUpFlow = 1;
 }  // namespace
 
+/// Routes packets released by the qdisc straight into the channel inboxes,
+/// so dequeueing never stages through an intermediate vector.
+class Channel::DeliverySink final : public PacketSink {
+ public:
+  DeliverySink(Channel& channel, util::TimePoint now) : channel_{channel}, now_{now} {}
+
+  void accept(Packet&& packet) override { channel_.deliver(std::move(packet), now_); }
+
+ private:
+  Channel& channel_;
+  util::TimePoint now_;
+};
+
 Channel::Channel(TrafficControl& tc, std::string device)
     : tc_{&tc}, device_{std::move(device)} {
   // Materialize the default pfifo so `in_flight` is valid immediately.
   tc_->root(device_);
 }
 
-std::uint64_t Channel::send(LinkDirection dir, Payload payload, std::uint32_t wire_size,
-                            util::TimePoint now) {
-  Packet p;
-  p.id = next_id_++;
-  p.flow = dir == LinkDirection::kDownlink ? kDownFlow : kUpFlow;
-  p.payload = std::move(payload);
-  p.wire_size = wire_size;
+std::uint64_t Channel::send(LinkDirection dir, Packet&& packet, util::TimePoint now) {
+  packet.id = next_id_++;
+  packet.flow = dir == LinkDirection::kDownlink ? kDownFlow : kUpFlow;
   DirectionStats& s = mutable_stats(dir);
   ++s.packets_sent;
-  s.bytes_sent += p.effective_wire_size();
-  tc_->root(device_).enqueue(std::move(p), now);
+  s.bytes_sent += packet.effective_wire_size();
+  tc_->root(device_).enqueue(std::move(packet), now);
   return next_id_ - 1;
 }
 
+std::uint64_t Channel::send(LinkDirection dir, Payload payload, std::uint32_t wire_size,
+                            util::TimePoint now) {
+  Packet p;
+  p.payload = std::move(payload);
+  p.wire_size = wire_size;
+  return send(dir, std::move(p), now);
+}
+
 void Channel::step(util::TimePoint now) {
-  for (Packet& p : tc_->root(device_).dequeue_ready(now)) {
-    const LinkDirection dir =
-        p.flow == kDownFlow ? LinkDirection::kDownlink : LinkDirection::kUplink;
-    DirectionStats& s = mutable_stats(dir);
-    ++s.packets_delivered;
-    s.total_latency += now - p.enqueued_at;
-    inbox(dir).push_back(std::move(p));
-  }
+  Qdisc& q = tc_->root(device_);
+  const auto next = q.next_event_at();
+  if (!next || *next > now) return;
+  DeliverySink sink{*this, now};
+  q.dequeue_ready(now, sink);
+}
+
+void Channel::deliver(Packet&& packet, util::TimePoint now) {
+  const LinkDirection dir =
+      packet.flow == kDownFlow ? LinkDirection::kDownlink : LinkDirection::kUplink;
+  DirectionStats& s = mutable_stats(dir);
+  ++s.packets_delivered;
+  s.total_latency += now - packet.enqueued_at;
+  inbox(dir).push_back(std::move(packet));
 }
 
 std::optional<Packet> Channel::receive(LinkDirection dir) {

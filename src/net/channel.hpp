@@ -6,12 +6,19 @@
 // driving commands. A Channel therefore owns one device in a TrafficControl
 // table and pushes packets from both directions through the same root qdisc;
 // delivered packets are routed to the destination endpoint's inbox.
+//
+// The packet path is allocation-free in steady state: senders build payloads
+// in buffers leased from the channel's PayloadPool (acquire_payload), move
+// the finished Packet into send(), and receivers hand parsed buffers back
+// via recycle(). step() consults the qdisc's next_event_at() and returns
+// without touching the queue while nothing can be released yet.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <string>
 
+#include "net/payload_pool.hpp"
 #include "net/tc.hpp"
 
 namespace rdsim::net {
@@ -37,12 +44,21 @@ class Channel {
   /// emulated interface ("lo" in the paper's setup).
   Channel(TrafficControl& tc, std::string device);
 
-  /// Queue a packet for transmission at `now`. Returns its packet id.
+  /// Queue `packet` for transmission at `now`. The channel assigns the
+  /// packet id and flow from `dir`; everything else (payload, wire_size)
+  /// is the caller's. This is the primary, allocation-free entry point.
+  /// Returns the assigned packet id.
+  std::uint64_t send(LinkDirection dir, Packet&& packet, util::TimePoint now);
+
+  /// Convenience overload that wraps `payload` in a fresh Packet. Kept for
+  /// tests and tooling; production senders should lease a buffer with
+  /// acquire_payload() and use the Packet&& overload so buffers recycle.
   std::uint64_t send(LinkDirection dir, Payload payload, std::uint32_t wire_size,
                      util::TimePoint now);
 
   /// Move packets that have cleared the qdisc into the destination inboxes.
-  /// Call once per simulation step (idempotent within a step).
+  /// Call once per simulation step (idempotent within a step). Early-outs
+  /// without touching the qdisc while next_event_at() is in the future.
   void step(util::TimePoint now);
 
   /// Pop the next delivered packet travelling in `dir`, if any.
@@ -58,7 +74,23 @@ class Channel {
   /// Packets still inside the qdisc (in flight).
   std::size_t in_flight() const { return tc_->root(device_).backlog(); }
 
+  /// Earliest instant the qdisc could release a packet; nullopt while idle.
+  std::optional<util::TimePoint> next_event_at() const {
+    return tc_->root(device_).next_event_at();
+  }
+
+  /// Lease a cleared payload buffer with capacity >= size_hint.
+  Payload acquire_payload(std::size_t size_hint) { return pool_.acquire(size_hint); }
+
+  /// Hand a parsed payload buffer back for reuse by future sends.
+  void recycle(Payload&& payload) { pool_.release(std::move(payload)); }
+
+  const PayloadPool& pool() const { return pool_; }
+
  private:
+  class DeliverySink;
+
+  void deliver(Packet&& packet, util::TimePoint now);
   std::deque<Packet>& inbox(LinkDirection dir);
   const std::deque<Packet>& inbox(LinkDirection dir) const;
   DirectionStats& mutable_stats(LinkDirection dir);
@@ -70,6 +102,7 @@ class Channel {
   std::deque<Packet> to_vehicle_;   ///< uplink deliveries
   DirectionStats down_stats_;
   DirectionStats up_stats_;
+  PayloadPool pool_;
 };
 
 }  // namespace rdsim::net

@@ -1,5 +1,7 @@
 #include "net/datagram.hpp"
 
+#include <algorithm>
+
 #include "net/serialization.hpp"
 
 namespace rdsim::net {
@@ -8,29 +10,32 @@ DatagramSocket::DatagramSocket(PacketRouter& router, Channel& channel,
                                std::uint16_t stream_id, LinkDirection send_direction)
     : channel_{&channel}, stream_id_{stream_id}, send_dir_{send_direction} {
   router.register_stream(
-      stream_id_, [this](const ProtocolHeader& h, Payload body, LinkDirection via,
-                         util::TimePoint now) { on_packet(h, std::move(body), via, now); });
+      stream_id_, [this](const ProtocolHeader& h, ByteReader body, LinkDirection via,
+                         util::TimePoint now) { on_packet(h, body, via, now); });
 }
 
 std::uint32_t DatagramSocket::send(Payload bytes, std::uint32_t declared_wire_size,
                                    util::TimePoint now) {
   const std::uint32_t seq = next_seq_++;
-  ByteWriter w;
+  // One datagram = one packet, framed directly in a pooled buffer.
+  ByteWriter w{channel_->acquire_payload(ProtocolHeader::kSize + 4 + 8 + 4 +
+                                         bytes.size())};
+  ProtocolHeader::begin(w, stream_id_, SegmentType::kDatagram);
   w.u32(seq);
   w.u64(static_cast<std::uint64_t>(now.count_micros()));
   w.bytes(bytes);
-  const Payload packet = ProtocolHeader::seal(stream_id_, SegmentType::kDatagram, w.take());
-  const std::uint32_t wire = std::max<std::uint32_t>(
+  Packet p;
+  p.payload = ProtocolHeader::finish(w);
+  p.wire_size = std::max<std::uint32_t>(
       declared_wire_size, static_cast<std::uint32_t>(bytes.size()) + 28);
-  channel_->send(send_dir_, packet, wire, now);
+  channel_->send(send_dir_, std::move(p), now);
   ++sent_;
   return seq;
 }
 
-void DatagramSocket::on_packet(const ProtocolHeader& header, Payload body,
+void DatagramSocket::on_packet(const ProtocolHeader& header, ByteReader r,
                                LinkDirection via, util::TimePoint now) {
   if (header.type != SegmentType::kDatagram || via != send_dir_) return;
-  ByteReader r{body};
   DatagramMessage msg;
   msg.sequence = r.u32();
   msg.sent_at = util::TimePoint::from_micros(static_cast<std::int64_t>(r.u64()));

@@ -41,7 +41,7 @@ class DatagramSocket {
   std::uint64_t stale_discarded() const { return stale_; }
 
  private:
-  void on_packet(const ProtocolHeader& header, Payload body, LinkDirection via,
+  void on_packet(const ProtocolHeader& header, ByteReader body, LinkDirection via,
                  util::TimePoint now);
 
   Channel* channel_;

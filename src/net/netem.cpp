@@ -272,52 +272,52 @@ void NetemQdisc::enqueue(Packet packet, util::TimePoint now) {
 
   RDSIM_ENSURE(release >= now, "netem release time cannot precede enqueue time");
 
-  auto schedule = [&](Packet p) {
-    Scheduled s{release, seq_++, std::move(p)};
-    const auto it = std::upper_bound(queue_.begin(), queue_.end(), s);
-    const auto idx = static_cast<std::size_t>(it - queue_.begin());
-    queue_.insert(it, std::move(s));
-    // tfifo ordering: the inserted element must sit between its neighbours.
-    RDSIM_INVARIANT(idx == 0 || !(queue_[idx] < queue_[idx - 1]),
-                    "netem queue must stay sorted by (release, seq)");
-    RDSIM_INVARIANT(idx + 1 >= queue_.size() || !(queue_[idx + 1] < queue_[idx]),
-                    "netem queue must stay sorted by (release, seq)");
-  };
-
   if (duplicate && queue_.size() + 1 < config_.limit) {
-    Packet copy = packet;
+    Packet copy = packet.clone();
     copy.duplicate = true;
     ++stats_.duplicated;
     RDSIM_OBS_COUNT(obs::metric::kNetemDuplicated, 1);
-    schedule(std::move(copy));
+    schedule(std::move(copy), release);
   }
-  schedule(std::move(packet));
+  schedule(std::move(packet), release);
   RDSIM_OBS_GAUGE_SET(obs::metric::kNetemDepth,
                       static_cast<double>(queue_.size()));
 }
 
-std::vector<Packet> NetemQdisc::dequeue_ready(util::TimePoint now) {
-  std::vector<Packet> out;
+void NetemQdisc::schedule(Packet packet, util::TimePoint release) {
+  backlog_bytes_ += packet.effective_wire_size();
+  queue_.push_back(Scheduled{release, seq_++, std::move(packet)});
+  std::push_heap(queue_.begin(), queue_.end(), ScheduledAfter{});
+  // tfifo ordering: the heap root must be the earliest pending release.
+  RDSIM_INVARIANT(!(release < queue_.front().release),
+                  "netem heap root must be the earliest (release, seq)");
+}
+
+void NetemQdisc::dequeue_ready(util::TimePoint now, PacketSink& sink) {
   std::size_t n = 0;
-  while (n < queue_.size() && queue_[n].release <= now) ++n;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    RDSIM_INVARIANT(i == 0 || !(queue_[i].release < queue_[i - 1].release),
+  util::TimePoint last_release{};
+  while (!queue_.empty() && queue_.front().release <= now) {
+    std::pop_heap(queue_.begin(), queue_.end(), ScheduledAfter{});
+    Scheduled s = std::move(queue_.back());
+    queue_.pop_back();
+    RDSIM_INVARIANT(n == 0 || !(s.release < last_release),
                     "netem must release packets in non-decreasing time order");
+    last_release = s.release;
     ++stats_.dequeued;
-    stats_.bytes_sent += queue_[i].packet.effective_wire_size();
-    out.push_back(std::move(queue_[i].packet));
+    const std::uint32_t bytes = s.packet.effective_wire_size();
+    stats_.bytes_sent += bytes;
+    backlog_bytes_ -= bytes;
+    sink.accept(std::move(s.packet));
+    ++n;
   }
-  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
   if (n > 0) {
     RDSIM_OBS_COUNT(obs::metric::kNetemDequeued, n);
     RDSIM_OBS_GAUGE_SET(obs::metric::kNetemDepth,
                         static_cast<double>(queue_.size()));
   }
-  return out;
 }
 
-std::optional<util::TimePoint> NetemQdisc::next_event() const {
+std::optional<util::TimePoint> NetemQdisc::next_event_at() const {
   if (queue_.empty()) return std::nullopt;
   return queue_.front().release;
 }

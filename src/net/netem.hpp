@@ -114,10 +114,14 @@ class NetemQdisc final : public Qdisc {
   const NetemConfig& config() const { return config_; }
 
   void enqueue(Packet packet, util::TimePoint now) override;
-  std::vector<Packet> dequeue_ready(util::TimePoint now) override;
-  std::optional<util::TimePoint> next_event() const override;
+  void dequeue_ready(util::TimePoint now, PacketSink& sink) override;
+  std::optional<util::TimePoint> next_event_at() const override;
   std::size_t backlog() const override { return queue_.size(); }
-  void clear() override { queue_.clear(); }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  void clear() override {
+    queue_.clear();
+    backlog_bytes_ = 0;
+  }
   const QdiscStats& stats() const override { return stats_; }
   std::string kind() const override { return "netem"; }
 
@@ -138,9 +142,22 @@ class NetemQdisc final : public Qdisc {
     }
   };
 
+  /// Min-heap comparator: the element releasing *later* sorts first so that
+  /// std::push_heap/pop_heap keep the earliest (release, seq) at the root.
+  struct ScheduledAfter {
+    bool operator()(const Scheduled& a, const Scheduled& b) const { return b < a; }
+  };
+
+  void schedule(Packet packet, util::TimePoint release);
+
   NetemConfig config_;
   util::Random rng_;
-  std::vector<Scheduled> queue_;  ///< kept sorted by release time (tfifo)
+  /// Timer structure: binary min-heap on (release, seq). The seq tie-break
+  /// makes the pop order identical to the kernel's tfifo (stable FIFO among
+  /// equal release times) and to the sorted-vector implementation this
+  /// replaced — O(log n) insertion instead of O(n).
+  std::vector<Scheduled> queue_;
+  std::uint64_t backlog_bytes_{0};
   std::uint64_t seq_{0};
   std::uint64_t since_reorder_{0};
 

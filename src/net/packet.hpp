@@ -4,6 +4,12 @@
 // what the queueing disciplines account (serialization time under rate
 // limiting, corruption probability scaling), which lets large video frames be
 // modelled faithfully without megabytes of padding bytes.
+//
+// Packets are move-only: a payload buffer is handed from the sender through
+// the qdisc chain to the receiving inbox without ever being copied, and the
+// Channel recycles it through a PayloadPool once the router has parsed it.
+// The one legitimate copy — netem duplication — is spelled explicitly with
+// clone().
 #pragma once
 
 #include <cstdint>
@@ -33,10 +39,50 @@ struct Packet {
   bool corrupted{false};           ///< payload damaged by the corrupt qdisc
   bool duplicate{false};           ///< this copy was created by duplication
 
-  std::uint32_t effective_wire_size() const {
-    return wire_size > payload.size() ? wire_size
-                                      : static_cast<std::uint32_t>(payload.size());
+  Packet() = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  /// Deep copy, for netem duplication (the only place a packet forks).
+  Packet clone() const {
+    Packet copy;
+    copy.id = id;
+    copy.flow = flow;
+    copy.payload = payload;
+    copy.wire_size = wire_size;
+    copy.enqueued_at = enqueued_at;
+    copy.corrupted = corrupted;
+    copy.duplicate = duplicate;
+    return copy;
   }
+
+  std::uint32_t effective_wire_size() const {
+    const auto payload_bytes = static_cast<std::uint32_t>(payload.size());
+    return wire_size > payload_bytes ? wire_size : payload_bytes;
+  }
+};
+
+/// Consumer of released packets. Qdiscs push ready packets straight into a
+/// sink instead of materializing a per-tick std::vector, so a busy link moves
+/// packets with zero intermediate allocations and an idle link costs one
+/// next_event_at() comparison.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void accept(Packet&& packet) = 0;
+};
+
+/// PacketSink that appends to a vector — the test/tooling adaptor behind
+/// Qdisc::drain().
+class VectorSink final : public PacketSink {
+ public:
+  explicit VectorSink(std::vector<Packet>& out) : out_{&out} {}
+  void accept(Packet&& packet) override { out_->push_back(std::move(packet)); }
+
+ private:
+  std::vector<Packet>* out_;
 };
 
 /// Counters exported by every qdisc and link, mirroring `tc -s qdisc show`.

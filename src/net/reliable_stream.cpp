@@ -1,6 +1,7 @@
 #include "net/reliable_stream.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "check/contracts.hpp"
@@ -16,6 +17,13 @@ LinkDirection reverse(LinkDirection dir) {
                                          : LinkDirection::kDownlink;
 }
 constexpr std::uint32_t kAckWireSize = 60;
+/// Fixed bytes of the DATA segment encoding before the chunk:
+/// seq u32 + message_id u32 + seg_index u16 + seg_count u16 +
+/// message_wire_size u32 + message_sent_us u64 + chunk length prefix u32.
+constexpr std::size_t kDataEncodingBytes = 4 + 4 + 2 + 2 + 4 + 8 + 4;
+/// ACK encoding ceiling: cum_ack u32 + sack count u32 + <=8 SACKs + ts u64.
+constexpr std::size_t kMaxSackHints = 8;
+constexpr std::size_t kAckEncodingBytes = 4 + 4 + kMaxSackHints * 4 + 8;
 }  // namespace
 
 ReliableStream::ReliableStream(PacketRouter& router, Channel& channel,
@@ -27,8 +35,8 @@ ReliableStream::ReliableStream(PacketRouter& router, Channel& channel,
       data_dir_{data_direction},
       config_{config} {
   router_->register_stream(
-      stream_id_, [this](const ProtocolHeader& h, Payload body, LinkDirection via,
-                         util::TimePoint now) { on_packet(h, std::move(body), via, now); });
+      stream_id_, [this](const ProtocolHeader& h, ByteReader body, LinkDirection via,
+                         util::TimePoint now) { on_packet(h, body, via, now); });
 }
 
 std::uint32_t ReliableStream::send_message(Payload bytes, std::uint32_t declared_wire_size,
@@ -60,8 +68,7 @@ std::uint32_t ReliableStream::send_message(Payload bytes, std::uint32_t declared
   return message_id;
 }
 
-Payload ReliableStream::encode_data(const Segment& seg) const {
-  ByteWriter w;
+void ReliableStream::encode_data(ByteWriter& w, const Segment& seg) {
   w.u32(seg.seq);
   w.u32(seg.message_id);
   w.u16(seg.seg_index);
@@ -69,11 +76,9 @@ Payload ReliableStream::encode_data(const Segment& seg) const {
   w.u32(seg.message_wire_size);
   w.u64(seg.message_sent_us);
   w.bytes(seg.chunk);
-  return w.take();
 }
 
-std::optional<ReliableStream::Segment> ReliableStream::decode_data(const Payload& body) {
-  ByteReader r{body};
+std::optional<ReliableStream::Segment> ReliableStream::decode_data(ByteReader& r) {
   Segment seg;
   seg.seq = r.u32();
   seg.message_id = r.u32();
@@ -88,11 +93,16 @@ std::optional<ReliableStream::Segment> ReliableStream::decode_data(const Payload
 
 void ReliableStream::transmit_segment(const Segment& seg, util::TimePoint now,
                                       bool retransmission) {
-  const Payload packet = ProtocolHeader::seal(stream_id_, SegmentType::kData,
-                                              encode_data(seg));
-  const std::uint32_t wire =
-      seg.message_wire_size / seg.seg_count + config_.header_overhead;
-  channel_->send(data_dir_, packet, wire, now);
+  // Frame the segment directly in a pooled buffer: header placeholder, DATA
+  // encoding, checksum back-patch — no intermediate body copy.
+  ByteWriter w{channel_->acquire_payload(ProtocolHeader::kSize + kDataEncodingBytes +
+                                         seg.chunk.size())};
+  ProtocolHeader::begin(w, stream_id_, SegmentType::kData);
+  encode_data(w, seg);
+  Packet p;
+  p.payload = ProtocolHeader::finish(w);
+  p.wire_size = seg.message_wire_size / seg.seg_count + config_.header_overhead;
+  channel_->send(data_dir_, std::move(p), now);
 
   auto [it, inserted] = in_flight_.try_emplace(seg.seq);
   if (inserted) {
@@ -168,18 +178,18 @@ void ReliableStream::update_rtt(util::Duration sample) {
   stats_.rto = units::Millis::from_duration(current_rto());
 }
 
-void ReliableStream::on_packet(const ProtocolHeader& header, Payload body,
+void ReliableStream::on_packet(const ProtocolHeader& header, ByteReader body,
                                LinkDirection via, util::TimePoint now) {
   if (header.type == SegmentType::kData && via == data_dir_) {
-    on_data(std::move(body), now);
+    on_data(body, now);
   } else if (header.type == SegmentType::kAck && via == reverse(data_dir_)) {
-    on_ack(std::move(body), now);
+    on_ack(body, now);
   }
   // Anything else (e.g. a duplicated packet that re-arrives on the wrong
   // path) is silently ignored, as a real socket would.
 }
 
-void ReliableStream::on_data(Payload body, util::TimePoint now) {
+void ReliableStream::on_data(ByteReader body, util::TimePoint now) {
   auto seg = decode_data(body);
   if (!seg) return;
   RDSIM_OBS_COUNT(obs::metric::kStreamSegmentsRx, 1);
@@ -263,11 +273,12 @@ void ReliableStream::update_hol_obs(util::TimePoint now) {
 }
 
 void ReliableStream::send_ack(util::TimePoint now) {
-  ByteWriter w;
+  ByteWriter w{channel_->acquire_payload(ProtocolHeader::kSize + kAckEncodingBytes)};
+  ProtocolHeader::begin(w, stream_id_, SegmentType::kAck);
   w.u32(rcv_next_);
   // SACK hints: up to 8 out-of-order sequence numbers.
-  const std::uint32_t sack_count =
-      static_cast<std::uint32_t>(std::min<std::size_t>(out_of_order_.size(), 8));
+  const std::uint32_t sack_count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(out_of_order_.size(), kMaxSackHints));
   w.u32(sack_count);
   std::uint32_t written = 0;
   for (const auto& [seq, _] : out_of_order_) {
@@ -275,21 +286,26 @@ void ReliableStream::send_ack(util::TimePoint now) {
     w.u32(seq);
   }
   w.u64(last_data_ts_us_);
-  const Payload packet = ProtocolHeader::seal(stream_id_, SegmentType::kAck, w.take());
-  channel_->send(reverse(data_dir_), packet, kAckWireSize, now);
+  Packet p;
+  p.payload = ProtocolHeader::finish(w);
+  p.wire_size = kAckWireSize;
+  channel_->send(reverse(data_dir_), std::move(p), now);
   ++stats_.acks_sent;
   ack_pending_ = false;
 }
 
-void ReliableStream::on_ack(Payload body, util::TimePoint now) {
-  ByteReader r{body};
+void ReliableStream::on_ack(ByteReader r, util::TimePoint now) {
   const std::uint32_t cum_ack = r.u32();
   const std::uint32_t sack_count = r.u32();
-  std::vector<std::uint32_t> sacks;
-  sacks.reserve(sack_count);
-  for (std::uint32_t i = 0; i < sack_count && r.ok(); ++i) sacks.push_back(r.u32());
+  // Our sender never writes more than kMaxSackHints; a larger count is a
+  // malformed packet, discarded just as a truncated one would be.
+  if (sack_count > kMaxSackHints) return;
+  std::array<std::uint32_t, kMaxSackHints> sack_buf{};
+  for (std::uint32_t i = 0; i < sack_count && r.ok(); ++i) sack_buf[i] = r.u32();
   r.u64();  // echoed timestamp, unused: RTT comes from transmission records
   if (!r.ok()) return;
+  const auto sacks_begin = sack_buf.begin();
+  const auto sacks_end = sack_buf.begin() + sack_count;
 
   if (cum_ack > last_cum_ack_) {
     // A valid cumulative ACK can never acknowledge sequences we have not
@@ -326,13 +342,13 @@ void ReliableStream::on_ack(Payload body, util::TimePoint now) {
   // SACKed sequence that is not itself SACKed has very likely been lost —
   // retransmit a bounded number of them immediately instead of waiting for
   // serial RTOs (this is what keeps sustained-loss links usable).
-  if (!sacks.empty() && config_.fast_retransmit) {
-    const std::uint32_t max_sack = *std::max_element(sacks.begin(), sacks.end());
+  if (sack_count > 0 && config_.fast_retransmit) {
+    const std::uint32_t max_sack = *std::max_element(sacks_begin, sacks_end);
     const util::Duration hold_off = current_rto() / 2;
     int budget = 4;
     for (auto& [seq, inflight] : in_flight_) {
       if (seq >= max_sack || budget == 0) break;
-      if (std::find(sacks.begin(), sacks.end(), seq) != sacks.end()) {
+      if (std::find(sacks_begin, sacks_end, seq) != sacks_end) {
         // Keep SACKed segments from driving the RTO timer.
         inflight.last_sent = std::max(inflight.last_sent, now);
         continue;

@@ -127,17 +127,17 @@ class ReliableStream {
     bool complete() const { return chunks.size() == seg_count; }
   };
 
-  void on_packet(const ProtocolHeader& header, Payload body, LinkDirection via,
+  void on_packet(const ProtocolHeader& header, ByteReader body, LinkDirection via,
                  util::TimePoint now);
-  void on_data(Payload body, util::TimePoint now);
+  void on_data(ByteReader body, util::TimePoint now);
   void update_hol_obs(util::TimePoint now);
-  void on_ack(Payload body, util::TimePoint now);
+  void on_ack(ByteReader body, util::TimePoint now);
   void transmit_segment(const Segment& seg, util::TimePoint now, bool retransmission);
   void send_ack(util::TimePoint now);
   void update_rtt(util::Duration sample);
   util::Duration current_rto() const;
-  Payload encode_data(const Segment& seg) const;
-  static std::optional<Segment> decode_data(const Payload& body);
+  static void encode_data(ByteWriter& w, const Segment& seg);
+  static std::optional<Segment> decode_data(ByteReader& r);
 
   PacketRouter* router_;
   Channel* channel_;

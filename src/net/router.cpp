@@ -1,11 +1,11 @@
 #include "net/router.hpp"
 
-#include "net/serialization.hpp"
+#include "check/contracts.hpp"
 
 namespace rdsim::net {
 
-std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
-  std::uint32_t h = 2166136261u;
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size, std::uint32_t seed) {
+  std::uint32_t h = seed;
   for (std::size_t i = 0; i < size; ++i) {
     h ^= data[i];
     h *= 16777619u;
@@ -17,45 +17,62 @@ namespace {
 
 /// Checksum over everything the header protects: stream id, type, body —
 /// like the TCP checksum, any single corrupted bit invalidates the packet.
-std::uint32_t packet_checksum(std::uint16_t stream_id, std::uint8_t type,
-                              const Payload& body) {
-  const std::uint8_t prefix[3] = {static_cast<std::uint8_t>(stream_id & 0xff),
-                                  static_cast<std::uint8_t>(stream_id >> 8), type};
-  std::uint32_t h = fnv1a(prefix, sizeof prefix);
-  for (std::uint8_t b : body) {
-    h ^= b;
-    h *= 16777619u;
-  }
-  return h;
+/// The protected prefix {stream lo, stream hi, type} is exactly the first
+/// three serialized header bytes, so a sealed packet can be verified (and
+/// back-patched) straight from its buffer.
+std::uint32_t packet_checksum(const std::uint8_t* packet, std::size_t size) {
+  const std::uint32_t h = fnv1a(packet, ProtocolHeader::kChecksumOffset);
+  return fnv1a(packet + ProtocolHeader::kSize, size - ProtocolHeader::kSize, h);
 }
 
 }  // namespace
 
+void ProtocolHeader::begin(ByteWriter& w, std::uint16_t stream_id, SegmentType type) {
+  RDSIM_REQUIRE(w.size() == 0, "ProtocolHeader::begin expects an empty writer");
+  w.u16(stream_id);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(0);  // checksum placeholder, patched by finish()
+}
+
+Payload ProtocolHeader::finish(ByteWriter& w) {
+  RDSIM_REQUIRE(w.size() >= kSize, "ProtocolHeader::finish before begin");
+  w.patch_u32(kChecksumOffset, packet_checksum(w.data().data(), w.size()));
+  return w.take();
+}
+
 Payload ProtocolHeader::seal(std::uint16_t stream_id, SegmentType type,
                              const Payload& body) {
   ByteWriter w;
-  w.u16(stream_id);
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u32(packet_checksum(stream_id, static_cast<std::uint8_t>(type), body));
-  Payload out = w.take();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  begin(w, stream_id, type);
+  w.raw(body.data(), body.size());
+  return finish(w);
 }
 
-std::optional<ParsedPacket> open_packet(const Payload& packet_payload) {
+std::optional<PacketView> open_packet_view(const Payload& packet_payload) {
   if (packet_payload.size() < ProtocolHeader::kSize) return std::nullopt;
   ByteReader r{packet_payload};
-  ParsedPacket parsed;
-  parsed.header.stream_id = r.u16();
+  PacketView view;
+  view.header.stream_id = r.u16();
   const std::uint8_t type = r.u8();
   const std::uint32_t checksum = r.u32();
   if (!r.ok()) return std::nullopt;
-  parsed.body.assign(packet_payload.begin() + ProtocolHeader::kSize, packet_payload.end());
-  if (packet_checksum(parsed.header.stream_id, type, parsed.body) != checksum) {
+  if (packet_checksum(packet_payload.data(), packet_payload.size()) != checksum) {
     return std::nullopt;
   }
   if (type > static_cast<std::uint8_t>(SegmentType::kDatagram)) return std::nullopt;
-  parsed.header.type = static_cast<SegmentType>(type);
+  view.header.type = static_cast<SegmentType>(type);
+  view.body = ByteReader{packet_payload.data() + ProtocolHeader::kSize,
+                         packet_payload.size() - ProtocolHeader::kSize};
+  return view;
+}
+
+std::optional<ParsedPacket> open_packet(const Payload& packet_payload) {
+  const auto view = open_packet_view(packet_payload);
+  if (!view) return std::nullopt;
+  ParsedPacket parsed;
+  parsed.header = view->header;
+  parsed.body.assign(packet_payload.begin() + ProtocolHeader::kSize,
+                     packet_payload.end());
   return parsed;
 }
 
@@ -71,17 +88,16 @@ void PacketRouter::poll(util::TimePoint now) {
 
 void PacketRouter::drain(LinkDirection dir, util::TimePoint now) {
   while (auto packet = channel_->receive(dir)) {
-    auto parsed = open_packet(packet->payload);
-    if (!parsed) {
+    if (const auto view = open_packet_view(packet->payload); !view) {
       ++checksum_failures_;
-      continue;
-    }
-    const auto it = handlers_.find(parsed->header.stream_id);
-    if (it == handlers_.end()) {
+    } else if (const auto it = handlers_.find(view->header.stream_id);
+               it == handlers_.end()) {
       ++unroutable_;
-      continue;
+    } else {
+      it->second(view->header, view->body, dir, now);
     }
-    it->second(parsed->header, std::move(parsed->body), dir, now);
+    // The view above reads from packet->payload; recycle only after handling.
+    channel_->recycle(std::move(packet->payload));
   }
 }
 

@@ -15,6 +15,14 @@ namespace rdsim::net {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Reuse a leased buffer (e.g. from a PayloadPool): keeps its capacity,
+  /// starts writing from offset zero.
+  explicit ByteWriter(std::vector<std::uint8_t>&& reuse) : buf_{std::move(reuse)} {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append(&v, sizeof v); }
   void u32(std::uint32_t v) { append(&v, sizeof v); }
@@ -29,6 +37,13 @@ class ByteWriter {
   void bytes(const std::vector<std::uint8_t>& b) {
     u32(static_cast<std::uint32_t>(b.size()));
     append(b.data(), b.size());
+  }
+  /// Append raw bytes without a length prefix.
+  void raw(const std::uint8_t* p, std::size_t n) { append(p, n); }
+
+  /// Overwrite 4 already-written bytes at `offset` (for checksum back-patching).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    std::memcpy(buf_.data() + offset, &v, sizeof v);
   }
 
   const std::vector<std::uint8_t>& data() const { return buf_; }
@@ -45,6 +60,8 @@ class ByteWriter {
 
 class ByteReader {
  public:
+  /// Empty view; every read fails with ok() == false.
+  ByteReader() : buf_{nullptr}, size_{0} {}
   explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_{buf.data()}, size_{buf.size()} {}
   ByteReader(const std::uint8_t* data, std::size_t size) : buf_{data}, size_{size} {}
 

@@ -25,31 +25,33 @@ void TbfQdisc::enqueue(Packet packet, util::TimePoint now) {
     return;
   }
   refill(now);
+  backlog_bytes_ += packet.effective_wire_size();
   queue_.push_back(std::move(packet));
   RDSIM_OBS_GAUGE_SET(obs::metric::kTbfDepth, static_cast<double>(queue_.size()));
 }
 
-std::vector<Packet> TbfQdisc::dequeue_ready(util::TimePoint now) {
+void TbfQdisc::dequeue_ready(util::TimePoint now, PacketSink& sink) {
   refill(now);
-  std::vector<Packet> out;
+  std::size_t n = 0;
   while (!queue_.empty()) {
-    const double cost = queue_.front().effective_wire_size();
-    if (tokens_ < cost) break;
-    tokens_ -= cost;
+    const std::uint32_t bytes = queue_.front().effective_wire_size();
+    if (tokens_ < static_cast<double>(bytes)) break;
+    tokens_ -= static_cast<double>(bytes);
     ++stats_.dequeued;
-    stats_.bytes_sent += static_cast<std::uint64_t>(cost);
-    out.push_back(std::move(queue_.front()));
+    stats_.bytes_sent += bytes;
+    backlog_bytes_ -= bytes;
+    sink.accept(std::move(queue_.front()));
     queue_.pop_front();
+    ++n;
   }
-  if (!out.empty()) {
-    RDSIM_OBS_COUNT(obs::metric::kTbfDequeued, out.size());
+  if (n > 0) {
+    RDSIM_OBS_COUNT(obs::metric::kTbfDequeued, n);
     RDSIM_OBS_GAUGE_SET(obs::metric::kTbfDepth,
                         static_cast<double>(queue_.size()));
   }
-  return out;
 }
 
-std::optional<util::TimePoint> TbfQdisc::next_event() const {
+std::optional<util::TimePoint> TbfQdisc::next_event_at() const {
   if (queue_.empty()) return std::nullopt;
   const double deficit =
       static_cast<double>(queue_.front().effective_wire_size()) - tokens_;

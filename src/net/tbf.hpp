@@ -25,10 +25,14 @@ class TbfQdisc final : public Qdisc {
   const TbfConfig& config() const { return config_; }
 
   void enqueue(Packet packet, util::TimePoint now) override;
-  std::vector<Packet> dequeue_ready(util::TimePoint now) override;
-  std::optional<util::TimePoint> next_event() const override;
+  void dequeue_ready(util::TimePoint now, PacketSink& sink) override;
+  std::optional<util::TimePoint> next_event_at() const override;
   std::size_t backlog() const override { return queue_.size(); }
-  void clear() override { queue_.clear(); }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  void clear() override {
+    queue_.clear();
+    backlog_bytes_ = 0;
+  }
   const QdiscStats& stats() const override { return stats_; }
   std::string kind() const override { return "tbf"; }
 
@@ -39,6 +43,7 @@ class TbfQdisc final : public Qdisc {
   double tokens_;
   util::TimePoint last_refill_{};
   std::deque<Packet> queue_;
+  std::uint64_t backlog_bytes_{0};
   QdiscStats stats_;
 };
 

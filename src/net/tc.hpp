@@ -68,6 +68,13 @@ class TrafficControl {
   /// Root qdisc for `device`; a default pfifo is created on first use.
   Qdisc& root(const std::string& device);
 
+  /// Earliest instant the root qdisc on `device` could release a packet;
+  /// nullopt while it is empty. Lets callers skip dequeue work entirely
+  /// between events instead of polling every tick.
+  std::optional<util::TimePoint> next_event_at(const std::string& device) {
+    return root(device).next_event_at();
+  }
+
   /// True if a netem rule (not the default pfifo) is installed.
   bool has_netem(const std::string& device) const;
 

@@ -55,6 +55,16 @@ const MetricId kTbfDroppedOverlimit = register_counter(
 const MetricId kTbfDepth =
     register_gauge("qdisc.tbf.depth", "TBF backlog after each op", "packets");
 
+// ---- payload pool ----
+const MetricId kPoolFresh = register_counter(
+    "pool.fresh", "Payload acquisitions that fell back to the heap");
+const MetricId kPoolReused = register_counter(
+    "pool.reused", "Payload acquisitions served from the freelist");
+const MetricId kPoolRecycled =
+    register_counter("pool.recycled", "Released payload buffers kept for reuse");
+const MetricId kPoolDiscarded = register_counter(
+    "pool.discarded", "Released payload buffers dropped (bucket full or undersized)");
+
 // ---- reliable stream ----
 const MetricId kStreamSegmentsTx = register_counter(
     "stream.segments_tx", "DATA segment transmissions (incl. retransmits)");

@@ -27,6 +27,12 @@ extern const MetricId kTbfDequeued;
 extern const MetricId kTbfDroppedOverlimit;
 extern const MetricId kTbfDepth;
 
+// ---- payload pool (per-channel buffer freelist) ----
+extern const MetricId kPoolFresh;       ///< acquisitions that heap-allocated
+extern const MetricId kPoolReused;      ///< acquisitions served from the freelist
+extern const MetricId kPoolRecycled;    ///< released buffers kept for reuse
+extern const MetricId kPoolDiscarded;   ///< released buffers dropped (cap/odd size)
+
 // ---- reliable stream (TCP analogue) ----
 extern const MetricId kStreamSegmentsTx;          ///< every DATA transmission
 extern const MetricId kStreamSegmentsRx;          ///< every decoded DATA arrival

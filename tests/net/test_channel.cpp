@@ -91,9 +91,9 @@ TEST(PacketRouter, RoutesByStreamId) {
   PacketRouter router{ch};
   int got_a = 0;
   int got_b = 0;
-  router.register_stream(1, [&](const ProtocolHeader&, Payload, LinkDirection,
+  router.register_stream(1, [&](const ProtocolHeader&, ByteReader, LinkDirection,
                                 TimePoint) { ++got_a; });
-  router.register_stream(2, [&](const ProtocolHeader&, Payload, LinkDirection,
+  router.register_stream(2, [&](const ProtocolHeader&, ByteReader, LinkDirection,
                                 TimePoint) { ++got_b; });
   ch.send(LinkDirection::kDownlink, ProtocolHeader::seal(1, SegmentType::kData, {1}), 10,
           TimePoint{});
@@ -114,7 +114,7 @@ TEST(PacketRouter, DropsCorruptedPacketsLikeTcpChecksum) {
   Channel ch{tc, "lo"};
   PacketRouter router{ch};
   int delivered = 0;
-  router.register_stream(1, [&](const ProtocolHeader&, Payload, LinkDirection,
+  router.register_stream(1, [&](const ProtocolHeader&, ByteReader, LinkDirection,
                                 TimePoint) { ++delivered; });
   tc.add("lo", parse_netem("corrupt 100%"));
   for (int i = 0; i < 50; ++i) {
@@ -140,10 +140,10 @@ TEST(Tbf, EnforcesSustainedRate) {
     q.enqueue(std::move(p), TimePoint{});
   }
   // Polling every 50 ms, packets emerge at ~1 per 100 ms (rate / size).
-  std::size_t total = q.dequeue_ready(TimePoint{}).size();
+  std::size_t total = q.drain(TimePoint{}).size();
   EXPECT_EQ(total, 1u);  // initial burst
   for (int ms = 50; ms <= 1000; ms += 50) {
-    total += q.dequeue_ready(TimePoint::from_seconds(ms / 1000.0)).size();
+    total += q.drain(TimePoint::from_seconds(ms / 1000.0)).size();
   }
   EXPECT_GE(total, 9u);
   EXPECT_LE(q.backlog(), 1u);
@@ -160,7 +160,7 @@ TEST(Tbf, BurstAllowsInitialSpike) {
     p.wire_size = 100;
     q.enqueue(std::move(p), TimePoint{});
   }
-  EXPECT_EQ(q.dequeue_ready(TimePoint{}).size(), 10u);
+  EXPECT_EQ(q.drain(TimePoint{}).size(), 10u);
 }
 
 }  // namespace
