@@ -13,9 +13,25 @@ set(RDSIM_SANITIZE "" CACHE STRING
 set_property(CACHE RDSIM_SANITIZE PROPERTY STRINGS "" "address" "thread")
 option(RDSIM_STDLIB_ASSERTIONS
        "Enable libstdc++ container/iterator assertions (-D_GLIBCXX_ASSERTIONS)" OFF)
+option(RDSIM_THREAD_SAFETY
+       "Enable clang -Wthread-safety analysis (errors) on first-party targets" OFF)
 
 set(RDSIM_WARNING_FLAGS
     -Wall -Wextra -Wconversion -Wshadow -Wdouble-promotion)
+
+# Clang thread-safety analysis: proves every RDSIM_GUARDED_BY member access
+# holds its util::Mutex (src/util/thread_annotations.hpp). The annotations
+# compile to nothing elsewhere, so this is a clang-only preset; asking for it
+# under another compiler degrades to a warning rather than silently passing.
+if(RDSIM_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    list(APPEND RDSIM_WARNING_FLAGS -Wthread-safety -Werror=thread-safety)
+  else()
+    message(WARNING "RDSIM_THREAD_SAFETY is ON but the compiler is "
+                    "${CMAKE_CXX_COMPILER_ID}; -Wthread-safety needs clang, "
+                    "annotations compile as no-ops in this build")
+  endif()
+endif()
 
 if(RDSIM_SANITIZE STREQUAL "address")
   add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/thread_annotations.hpp"
+
 namespace rdsim::check {
 
 Site::Site(const char* kind, const char* expression, const char* file, int line,
@@ -45,19 +47,19 @@ Registry& Registry::instance() {
 }
 
 void Registry::register_site(Site* site) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   sites_.push_back(site);
 }
 
 std::uint64_t Registry::total_violations() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::uint64_t total = 0;
   for (const Site* site : sites_) total += site->count();
   return total;
 }
 
 std::vector<ViolationRecord> Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::vector<ViolationRecord> records;
   records.reserve(sites_.size());
   for (const Site* site : sites_) records.push_back(site->record());
@@ -65,7 +67,7 @@ std::vector<ViolationRecord> Registry::snapshot() const {
 }
 
 void Registry::reset_counts() {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   for (Site* site : sites_) site->reset();
 }
 

@@ -18,10 +18,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdsim::check {
 
@@ -90,23 +91,23 @@ class Registry {
   void set_policy(Policy p) { policy_.store(p, std::memory_order_relaxed); }
 
   /// Total failures across all registered sites.
-  std::uint64_t total_violations() const;
+  std::uint64_t total_violations() const RDSIM_EXCLUDES(mutex_);
 
   /// Records for every site that has ever failed (count may be zero again
   /// after reset_counts()).
-  std::vector<ViolationRecord> snapshot() const;
+  std::vector<ViolationRecord> snapshot() const RDSIM_EXCLUDES(mutex_);
 
   /// Zero all per-site counters. Sites stay registered.
-  void reset_counts();
+  void reset_counts() RDSIM_EXCLUDES(mutex_);
 
   // Called by Site's constructor; not for user code.
-  void register_site(Site* site);
+  void register_site(Site* site) RDSIM_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::vector<Site*> sites_;
+  mutable util::Mutex mutex_;
+  std::vector<Site*> sites_ RDSIM_GUARDED_BY(mutex_);
   std::atomic<Policy> policy_{default_policy()};
 };
 

@@ -1,6 +1,11 @@
 #include "check/frame_hash.hpp"
 
 #include "check/hash.hpp"
+#include "net/channel.hpp"
+#include "net/packet.hpp"
+#include "net/qdisc.hpp"
+#include "sim/frame.hpp"
+#include "sim/types.hpp"
 
 namespace rdsim::check {
 

@@ -8,6 +8,7 @@
 #include "check/hash.hpp"
 #include "core/campaign_fields.hpp"
 #include "core/campaign_hash.hpp"
+#include "mitigate/mitigation.hpp"
 #include "net/serialization.hpp"
 #include "util/units.hpp"
 

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include "sim/vehicle.hpp"
+
 namespace rdsim::core {
 
 RdsConfig RdsConfig::scaled_model_vehicle() {

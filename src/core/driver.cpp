@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/frame.hpp"
+#include "sim/road.hpp"
+#include "sim/scenario.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
+
 namespace rdsim::core {
 
 DriverModel::DriverModel(DriverParams params, const sim::Scenario* scenario,

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <string>
 
+#include "check/replay.hpp"
+#include "net/fault_injector.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "sim/scenario.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rdsim::core {

@@ -9,8 +9,12 @@
 // one seed.
 #pragma once
 
+#include "check/replay.hpp"
 #include "core/teleop.hpp"
+#include "mitigate/mitigation.hpp"
 #include "obs/report.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
 
 namespace rdsim::core {
 
@@ -21,8 +25,11 @@ struct ExperimentConfig {
   /// 50 ms delay and 5 % loss, with golden-run crashes present. Any other
   /// seed gives a statistically equivalent campaign.
   std::uint64_t seed{14};
-  RdsConfig rds{};
-  SafetyMonitorConfig safety{};
+  // Folded by experiment_config_fingerprint(), not the campaign field
+  // lists: these sub-configs predate campaign_fields.hpp and keep their
+  // own fingerprint so goldens stay stable.
+  RdsConfig rds{};                   // lint:allow(unhashed: experiment_config_fingerprint covers it)
+  SafetyMonitorConfig safety{};      // lint:allow(unhashed: experiment_config_fingerprint covers it)
   /// Fraction of POIs that receive a fault in the faulty run.
   double poi_fault_probability{0.95};
   /// Relative weights of the five faults, in paper_fault_model() order

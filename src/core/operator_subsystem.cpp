@@ -5,6 +5,8 @@
 
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "sim/frame.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::core {
 

@@ -7,6 +7,8 @@
 #include "core/config.hpp"
 #include "core/driver.hpp"
 #include "core/protocol.hpp"
+#include "sim/frame.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::core {
 
@@ -32,7 +34,9 @@ struct QoeStats {
   units::Seconds longest_freeze{};
   units::Seconds staleness_sum{};
   std::size_t staleness_samples{0};
-  Transport transport{};
+  // Diagnostic-only mirror of net::StreamStats; the authoritative copy is
+  // hashed via stream_stats_fields, so folding this too would double-count.
+  Transport transport{};  // lint:allow(unhashed: diagnostic mirror of hashed StreamStats)
 
   double frozen_fraction() const {
     return watch_time.value() > 0.0 ? frozen_time.value() / watch_time.value() : 0.0;

@@ -1,5 +1,8 @@
 #include "core/protocol.hpp"
 
+#include "net/packet.hpp"
+#include "net/serialization.hpp"
+
 namespace rdsim::core {
 
 net::Payload CommandMsg::encode() const {

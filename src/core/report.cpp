@@ -3,6 +3,13 @@
 #include <iomanip>
 #include <sstream>
 
+#include "metrics/safety.hpp"
+#include "metrics/srr.hpp"
+#include "metrics/ttc.hpp"
+#include "mitigate/mitigation.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
 namespace rdsim::core::report {
 
 namespace {

@@ -1,9 +1,18 @@
 #include "core/teleop.hpp"
 
 #include "check/frame_hash.hpp"
+#include "mitigate/governor.hpp"
+#include "mitigate/link_quality.hpp"
+#include "mitigate/mitigation.hpp"
+#include "mitigate/mrm.hpp"
+#include "net/datagram.hpp"
+#include "net/packet.hpp"
+#include "net/reliable_stream.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
 #include "sim/frame.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::core {
 

@@ -21,7 +21,9 @@
 #include "net/datagram.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_stream.hpp"
+#include "sim/scenario.hpp"
 #include "trace/trace.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::core {
 

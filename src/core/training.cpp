@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "metrics/srr.hpp"
+#include "sim/scenario.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::core {
 

@@ -1,5 +1,13 @@
 #include "core/vehicle_subsystem.hpp"
 
+#include "mitigate/mitigation.hpp"
+#include "mitigate/mrm.hpp"
+#include "sim/frame.hpp"
+#include "sim/road.hpp"
+#include "sim/scenario.hpp"
+#include "sim/types.hpp"
+#include "util/time.hpp"
+
 namespace rdsim::core {
 
 VehicleSubsystem::VehicleSubsystem(const RdsConfig& config, sim::Scenario scenario,

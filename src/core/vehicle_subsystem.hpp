@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "core/protocol.hpp"
 #include "mitigate/mrm.hpp"
+#include "net/packet.hpp"
 #include "sim/scenario.hpp"
 #include "util/rng.hpp"
 

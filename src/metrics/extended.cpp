@@ -7,6 +7,9 @@
 #include <cmath>
 #include <map>
 
+#include "sim/road.hpp"
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace rdsim::metrics {

@@ -15,6 +15,7 @@
 
 #include "metrics/ttc.hpp"
 #include "sim/road.hpp"
+#include "trace/trace.hpp"
 
 namespace rdsim::metrics {
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
 namespace rdsim::metrics {
 
 std::map<std::string, std::size_t> CollisionAnalysis::by_fault_label() const {

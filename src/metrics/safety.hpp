@@ -7,6 +7,8 @@
 #include <string>
 
 #include "metrics/ttc.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
 
 namespace rdsim::metrics {
 

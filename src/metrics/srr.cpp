@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/contracts.hpp"
+#include "trace/trace.hpp"
 #include "util/filters.hpp"
 
 namespace rdsim::metrics {

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "check/contracts.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
 
 namespace rdsim::metrics {
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"

@@ -5,6 +5,9 @@
 #include "check/contracts.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "sim/types.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::mitigate {
 

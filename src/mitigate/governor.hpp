@@ -20,6 +20,7 @@
 #include "mitigate/link_quality.hpp"
 #include "obs/metrics.hpp"
 #include "sim/types.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::mitigate {
 

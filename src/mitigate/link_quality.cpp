@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "check/contracts.hpp"
+#include "net/reliable_stream.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::mitigate {
 

@@ -6,6 +6,10 @@
 #include "check/contracts.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "sim/road.hpp"
+#include "sim/types.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::mitigate {
 

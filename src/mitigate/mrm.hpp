@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "sim/road.hpp"
 #include "sim/types.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::mitigate {
 

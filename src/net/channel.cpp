@@ -1,5 +1,7 @@
 #include "net/channel.hpp"
 
+#include "util/time.hpp"
+
 namespace rdsim::net {
 
 namespace {

@@ -20,6 +20,7 @@
 
 #include "net/payload_pool.hpp"
 #include "net/tc.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/serialization.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -9,6 +9,7 @@
 #include <deque>
 
 #include "net/router.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

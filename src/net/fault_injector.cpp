@@ -4,6 +4,7 @@
 
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -14,6 +14,7 @@
 
 #include "net/tc.hpp"
 #include "obs/metrics.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

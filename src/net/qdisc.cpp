@@ -5,6 +5,7 @@
 #include "check/contracts.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -8,6 +8,7 @@
 #include "net/serialization.hpp"
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

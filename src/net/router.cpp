@@ -1,6 +1,7 @@
 #include "net/router.hpp"
 
 #include "check/contracts.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -22,6 +22,7 @@
 
 #include "net/channel.hpp"
 #include "net/serialization.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

@@ -5,6 +5,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "util/time.hpp"
+
 namespace rdsim::net {
 
 namespace {

@@ -15,6 +15,7 @@
 
 #include "net/netem.hpp"
 #include "net/tbf.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::net {
 

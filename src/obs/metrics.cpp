@@ -4,16 +4,19 @@
 #include <atomic>
 #include <cmath>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/thread_annotations.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::obs {
 
 namespace {
 
 struct RegistryState {
-  std::mutex mutex;
-  std::deque<MetricDef> defs;  ///< deque: references stay valid on append
+  util::Mutex mutex;
+  /// deque: references stay valid on append
+  std::deque<MetricDef> defs RDSIM_GUARDED_BY(mutex);
 };
 
 RegistryState& registry() {
@@ -37,6 +40,15 @@ bool valid_metric_name(std::string_view name) {
   return true;
 }
 
+/// Index of `name` in state.defs, or defs.size() when absent.
+MetricId find_def(const RegistryState& state, std::string_view name)
+    RDSIM_REQUIRES(state.mutex) {
+  for (std::size_t i = 0; i < state.defs.size(); ++i) {
+    if (state.defs[i].name == name) return static_cast<MetricId>(i);
+  }
+  return static_cast<MetricId>(state.defs.size());
+}
+
 MetricId register_metric(MetricKind kind, std::string_view name,
                          std::string_view help, std::string_view unit,
                          std::vector<double> bounds) {
@@ -45,12 +57,10 @@ MetricId register_metric(MetricKind kind, std::string_view name,
                                 std::string{name} + "'"};
   }
   RegistryState& state = registry();
-  const std::lock_guard<std::mutex> lock{state.mutex};
-  for (const MetricDef& def : state.defs) {
-    if (def.name == name) {
-      throw std::logic_error{"obs: metric '" + std::string{name} +
-                             "' registered twice"};
-    }
+  const util::MutexLock lock{state.mutex};
+  if (find_def(state, name) != state.defs.size()) {
+    throw std::logic_error{"obs: metric '" + std::string{name} +
+                           "' registered twice"};
   }
   MetricDef def;
   def.kind = kind;
@@ -111,13 +121,13 @@ MetricId register_histogram(std::string_view name, std::string_view help,
 
 std::size_t metric_count() {
   RegistryState& state = registry();
-  const std::lock_guard<std::mutex> lock{state.mutex};
+  const util::MutexLock lock{state.mutex};
   return state.defs.size();
 }
 
 const MetricDef& metric_def(MetricId id) {
   RegistryState& state = registry();
-  const std::lock_guard<std::mutex> lock{state.mutex};
+  const util::MutexLock lock{state.mutex};
   // The deque is append-only: the returned reference stays valid after the
   // lock is released, even while other threads keep registering.
   return state.defs.at(id);
@@ -125,11 +135,8 @@ const MetricDef& metric_def(MetricId id) {
 
 MetricId find_metric(std::string_view name) {
   RegistryState& state = registry();
-  const std::lock_guard<std::mutex> lock{state.mutex};
-  for (std::size_t i = 0; i < state.defs.size(); ++i) {
-    if (state.defs[i].name == name) return static_cast<MetricId>(i);
-  }
-  return static_cast<MetricId>(state.defs.size());
+  const util::MutexLock lock{state.mutex};
+  return find_def(state, name);
 }
 
 void set_enabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/trace_export.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdsim::obs {
 
@@ -95,7 +96,7 @@ void append_metrics_object(std::string& out, const Context& context) {
 }  // namespace
 
 void CampaignCollector::submit_run(std::string_view run_id, Context context) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   auto [it, inserted] = runs_.try_emplace(std::string{run_id});
   if (inserted) {
     it->second = std::move(context);
@@ -105,7 +106,7 @@ void CampaignCollector::submit_run(std::string_view run_id, Context context) {
 }
 
 Context CampaignCollector::merged() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   Context total;
   for (const auto& [run_id, context] : runs_) total.merge_from(context);
   return total;
@@ -113,7 +114,7 @@ Context CampaignCollector::merged() const {
 
 std::string CampaignCollector::report_json() const {
   const Context total = merged();
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::string out = "{\n";
   out += "  \"schema\": \"rdsim.obs.report/1\",\n";
   out += "  \"compiled_in\": " + std::string{compiled_in() ? "true" : "false"} +
@@ -150,7 +151,7 @@ void CampaignCollector::write_report(const std::string& path) const {
 void CampaignCollector::write_trace(const std::string& path) const {
   std::vector<TraceTrack> tracks;
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const util::MutexLock lock{mutex_};
     tracks.reserve(runs_.size());
     for (const auto& [run_id, context] : runs_) {
       tracks.push_back(TraceTrack{run_id, &context});

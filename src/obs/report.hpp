@@ -9,11 +9,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdsim::obs {
 
@@ -22,30 +22,38 @@ class CampaignCollector {
   /// Move `context` in under `run_id`. Thread-safe; empty contexts are kept
   /// (a run that recorded nothing is still a run). A duplicate id folds into
   /// the existing entry via Context::merge_from.
-  void submit_run(std::string_view run_id, Context context);
+  void submit_run(std::string_view run_id, Context context)
+      RDSIM_EXCLUDES(mutex_);
 
   /// Per-run contexts in run-id order. Not thread-safe against concurrent
-  /// submit_run — read after the campaign joins its workers.
-  const std::map<std::string, Context>& runs() const { return runs_; }
+  /// submit_run — read after the campaign joins its workers; that contract
+  /// is why the deliberately-unlocked access is exempt from the analysis.
+  const std::map<std::string, Context>& runs() const
+      RDSIM_NO_THREAD_SAFETY_ANALYSIS {
+    return runs_;
+  }
 
   /// All runs folded into one context, merging in run-id order.
-  Context merged() const;
+  Context merged() const RDSIM_EXCLUDES(mutex_);
 
-  std::size_t run_count() const { return runs_.size(); }
+  std::size_t run_count() const RDSIM_EXCLUDES(mutex_) {
+    const util::MutexLock lock{mutex_};
+    return runs_.size();
+  }
 
   /// JSON report: campaign-wide totals plus per-run sections, every metric
   /// map sorted by metric name. Shape documented in docs/observability.md.
-  std::string report_json() const;
+  std::string report_json() const RDSIM_EXCLUDES(mutex_);
 
   /// Write report_json() to `path`; throws std::runtime_error on I/O failure.
   void write_report(const std::string& path) const;
 
   /// Write one Chrome trace with a track per run (run-id order) to `path`.
-  void write_trace(const std::string& path) const;
+  void write_trace(const std::string& path) const RDSIM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Context> runs_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Context> runs_ RDSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace rdsim::obs

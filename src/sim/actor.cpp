@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/vec2.hpp"
+
 namespace rdsim::sim {
 
 namespace {

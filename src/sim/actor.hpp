@@ -9,6 +9,7 @@
 
 #include "sim/road.hpp"
 #include "sim/vehicle.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::sim {
 

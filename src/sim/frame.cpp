@@ -1,5 +1,8 @@
 #include "sim/frame.hpp"
 
+#include "net/packet.hpp"
+#include "net/serialization.hpp"
+
 namespace rdsim::sim {
 
 namespace {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/vec2.hpp"
+
 namespace rdsim::sim {
 
 PathBuilder::PathBuilder(util::Pose start, double sample_step_m)

@@ -1,5 +1,9 @@
 #include "sim/rpc.hpp"
 
+#include "net/packet.hpp"
+#include "net/serialization.hpp"
+#include "util/time.hpp"
+
 namespace rdsim::sim {
 
 namespace {

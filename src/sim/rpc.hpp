@@ -22,6 +22,7 @@
 
 #include "net/reliable_stream.hpp"
 #include "sim/world.hpp"
+#include "util/time.hpp"
 
 namespace rdsim::sim {
 

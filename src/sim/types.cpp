@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vec2.hpp"
+
 namespace rdsim::sim {
 
 std::string to_string(ActorKind kind) {

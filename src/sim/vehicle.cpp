@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "check/contracts.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::sim {
 

@@ -4,6 +4,8 @@
 
 #include "obs/catalog.hpp"
 #include "obs/obs.hpp"
+#include "util/time.hpp"
+#include "util/vec2.hpp"
 
 namespace rdsim::sim {
 

@@ -3,6 +3,11 @@
 #include <cmath>
 #include <sstream>
 
+#include "net/fault_injector.hpp"
+#include "sim/actor.hpp"
+#include "sim/road.hpp"
+#include "sim/types.hpp"
+#include "sim/world.hpp"
 #include "util/csv.hpp"
 
 namespace rdsim::trace {

@@ -1,0 +1,92 @@
+// Clang thread-safety annotations and the annotated lock types built on them.
+//
+// Clang's -Wthread-safety analysis (enabled by the `thread-safety` CMake
+// preset) proves at compile time that every access to a RDSIM_GUARDED_BY
+// member happens with its mutex held — but it can only reason about lock
+// types that carry capability attributes, and libstdc++'s std::mutex carries
+// none. So the repo routes every lock through two thin wrappers defined here:
+//
+//   util::Mutex      a std::mutex with RDSIM_CAPABILITY, lock()/unlock()
+//                    annotated as acquire/release
+//   util::MutexLock  the RAII guard (RDSIM_SCOPED_CAPABILITY). It is also
+//                    BasicLockable, so std::condition_variable_any can wait
+//                    on it directly — waits stay inside the annotated scope.
+//
+// Everything compiles to exactly the std:: equivalents on non-clang
+// compilers (the macros expand to nothing). The threads lint (raw-mutex
+// rule) keeps unannotated std:: primitives from creeping back into src/.
+//
+// This header is deliberately dependency-free (layer rank 0, see
+// tools/rdsim_lint/rules/layering.py) so even the check-core contract layer
+// can use the annotated types.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define RDSIM_THREAD_ATTR(x) __attribute__((x))
+#else
+#define RDSIM_THREAD_ATTR(x)
+#endif
+
+/// A type that acts as a lock: std::mutex-shaped wrappers.
+#define RDSIM_CAPABILITY(x) RDSIM_THREAD_ATTR(capability(x))
+/// A RAII type whose lifetime equals a critical section.
+#define RDSIM_SCOPED_CAPABILITY RDSIM_THREAD_ATTR(scoped_lockable)
+/// Data member readable/writable only with `x` held.
+#define RDSIM_GUARDED_BY(x) RDSIM_THREAD_ATTR(guarded_by(x))
+/// Pointee guarded by `x` (the pointer itself is not).
+#define RDSIM_PT_GUARDED_BY(x) RDSIM_THREAD_ATTR(pt_guarded_by(x))
+/// Function that must be called with the capability held.
+#define RDSIM_REQUIRES(...) RDSIM_THREAD_ATTR(requires_capability(__VA_ARGS__))
+/// Function that acquires the capability and holds it on return.
+#define RDSIM_ACQUIRE(...) RDSIM_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+/// Function that releases a held capability.
+#define RDSIM_RELEASE(...) RDSIM_THREAD_ATTR(release_capability(__VA_ARGS__))
+/// Function that must NOT be called with the capability held (deadlock guard).
+#define RDSIM_EXCLUDES(...) RDSIM_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+/// Returns a reference to the given capability.
+#define RDSIM_RETURN_CAPABILITY(x) RDSIM_THREAD_ATTR(lock_returned(x))
+/// Escape hatch: the function's locking is checked by other means. Every use
+/// must document why (e.g. a read-after-join contract).
+#define RDSIM_NO_THREAD_SAFETY_ANALYSIS \
+  RDSIM_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace rdsim::util {
+
+/// std::mutex with capability annotations. Same cost, same semantics.
+class RDSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RDSIM_ACQUIRE() { mu_.lock(); }
+  void unlock() RDSIM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over util::Mutex; the annotated std::lock_guard equivalent.
+///
+/// lock()/unlock() make it BasicLockable so a std::condition_variable_any
+/// can wait on the guard itself; user code should not call them directly
+/// (the wait re-acquires before returning, so the destructor's release
+/// is always balanced).
+class RDSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RDSIM_ACQUIRE(mu) : mu_{mu} { mu_.lock(); }
+  ~MutexLock() RDSIM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() RDSIM_ACQUIRE() { mu_.lock(); }
+  void unlock() RDSIM_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace rdsim::util

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged{std::move(task)};
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     RDSIM_REQUIRE(!stopping_, "submit() on a stopping ThreadPool");
     queue_.push_back(std::move(packaged));
   }
@@ -62,8 +62,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      // Hand-rolled wait loop (not the predicate overload): the predicate
+      // would run inside std::condition_variable_any, outside the scope the
+      // analysis can see, and every read of stopping_/queue_ would warn.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -14,9 +14,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdsim::util {
 
@@ -35,7 +36,7 @@ class ThreadPool {
   std::size_t worker_count() const { return workers_.size(); }
 
   /// Enqueue a task. The returned future rethrows anything the task throws.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) RDSIM_EXCLUDES(mutex_);
 
   /// Run body(i) for every i in [0, n), distributed over the workers, and
   /// block until all complete. If any invocations throw, the exception of
@@ -47,10 +48,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_{false};
+  Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::packaged_task<void()>> queue_ RDSIM_GUARDED_BY(mutex_);
+  bool stopping_ RDSIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rdsim::util

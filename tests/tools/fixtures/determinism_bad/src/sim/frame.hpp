@@ -1,0 +1,11 @@
+#pragma once
+
+namespace rdsim::sim {
+
+struct Frame {
+  int sequence{0};
+  double timestamp_value;
+  bool valid{false};
+};
+
+}  // namespace rdsim::sim

@@ -1,0 +1,24 @@
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace rdsim::sim {
+
+int bad_rand() { return rand(); }
+
+std::unordered_map<int, int> table;
+
+double bad_clock() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::random_device entropy;
+
+int escaped_rand() { return rand(); }  // lint:allow(raw-rand: fixture escape)
+
+// A comment mentioning rand() and std::random_device must not trigger.
+const char* decoy = "calls rand() in a string literal";
+
+}  // namespace rdsim::sim

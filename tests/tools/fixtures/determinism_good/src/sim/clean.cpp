@@ -1,0 +1,9 @@
+#include <map>
+
+namespace rdsim::sim {
+
+std::map<int, int> ordered_table;
+
+int deterministic() { return 4; }
+
+}  // namespace rdsim::sim

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+namespace rdsim::core {
+
+struct Item {
+  double x{0.0};
+  double y{0.0};
+};
+
+struct Thing {
+  int a{0};
+  int forgotten{0};
+  int diagnostic{0};  // lint:allow(unhashed: fixture-only scratch value)
+  std::vector<Item> items{};
+};
+
+}  // namespace rdsim::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/thing.hpp"
+
+namespace rdsim::core {
+
+// T: [const] Thing
+template <typename Ar, typename T>
+void thing_fields(Ar& ar, T& t) {
+  ar.field("a", t.a);
+  ar.field("depth", t.nested.depth);
+  ar.vec(t.items, [](Ar& a, auto& e) {
+    a.field("x", e.x);
+    a.field("y", e.y);
+  });
+}
+
+}  // namespace rdsim::core

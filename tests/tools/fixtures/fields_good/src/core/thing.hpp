@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+namespace rdsim::core {
+
+struct Inner {
+  double depth{0.0};
+};
+
+struct Item {
+  double x{0.0};
+  double y{0.0};
+};
+
+struct Thing {
+  int a{0};
+  Inner nested{};
+  int diagnostic{0};  // lint:allow(unhashed: not part of the wire format)
+  std::vector<Item> items{};
+};
+
+}  // namespace rdsim::core

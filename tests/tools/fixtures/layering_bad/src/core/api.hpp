@@ -1,0 +1,7 @@
+#pragma once
+
+namespace rdsim::core {
+struct Api {
+  int version{1};
+};
+}  // namespace rdsim::core

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "net/cycle_b.hpp"
+
+namespace rdsim::net {
+struct A {
+  int a{0};
+};
+}  // namespace rdsim::net

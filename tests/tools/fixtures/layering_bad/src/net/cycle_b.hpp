@@ -1,0 +1,9 @@
+#pragma once
+
+#include "net/cycle_a.hpp"
+
+namespace rdsim::net {
+struct B {
+  int b{0};
+};
+}  // namespace rdsim::net

@@ -1,0 +1,10 @@
+#include "sim/missing.hpp"
+
+namespace rdsim::sim {
+
+int transitive_use() {
+  net::A borrowed;
+  return borrowed.a;
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/api.hpp"
+
+namespace rdsim::util {
+core::Api borrowed_from_above();
+}  // namespace rdsim::util

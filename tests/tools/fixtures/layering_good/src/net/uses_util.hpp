@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/base.hpp"
+
+namespace rdsim::net {
+struct Wrapper {
+  util::Base base{};
+};
+}  // namespace rdsim::net

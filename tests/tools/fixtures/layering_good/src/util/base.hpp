@@ -1,0 +1,7 @@
+#pragma once
+
+namespace rdsim::util {
+struct Base {
+  int value{0};
+};
+}  // namespace rdsim::util

@@ -1,0 +1,9 @@
+namespace rdsim::net {
+
+void instrument() {
+  const auto id = obs::register_counter("net.rogue", "help", "1");
+  RDSIM_OBS_COUNT("literal.name", 1);
+  (void)id;
+}
+
+}  // namespace rdsim::net

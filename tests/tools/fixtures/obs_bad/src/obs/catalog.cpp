@@ -1,0 +1,6 @@
+#include "obs/catalog.hpp"
+
+namespace rdsim::obs {
+const MetricId kNetPackets = register_counter("net.packets", "help", "1");
+const MetricId kNetBytes = register_counter("net.packets", "help", "1");
+}  // namespace rdsim::obs

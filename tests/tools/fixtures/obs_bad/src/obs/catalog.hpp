@@ -1,0 +1,6 @@
+#pragma once
+
+namespace rdsim::obs {
+using MetricId = unsigned;
+extern const MetricId kNetPackets;
+}  // namespace rdsim::obs

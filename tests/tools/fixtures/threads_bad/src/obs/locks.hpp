@@ -1,0 +1,19 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace rdsim::obs {
+
+struct Locks {
+  std::mutex raw_mutex;
+  std::condition_variable raw_cv;
+  std::condition_variable_any annotated_friendly_cv;
+  std::mutex escaped;  // lint:allow(raw-mutex: fixture interop escape)
+};
+
+inline void locked(Locks& l) {
+  const std::lock_guard<std::mutex> guard{l.raw_mutex};
+}
+
+}  // namespace rdsim::obs

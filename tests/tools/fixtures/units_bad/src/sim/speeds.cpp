@@ -1,0 +1,7 @@
+namespace rdsim::sim {
+
+double cruise_mps = 13.9;
+
+double to_kmh(double mps) { return mps * 3.6; }
+
+}  // namespace rdsim::sim

@@ -1,0 +1,5 @@
+namespace rdsim::sim {
+
+double cruise_mps = 13.9;
+
+}  // namespace rdsim::sim

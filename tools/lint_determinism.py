@@ -1,234 +1,21 @@
 #!/usr/bin/env python3
-"""Determinism lint for rdsim's src/ tree (wired into ctest as `determinism_lint`).
+"""Determinism lint (ctest `determinism_lint`) — shim over tools/rdsim_lint.
 
-The testbed's reproducibility contract is that one seed fully determines a
-campaign. This lint fails the build when known nondeterminism hazards enter
-first-party code:
+The rule set lives in tools/rdsim_lint/rules/determinism.py; this entry
+point exists so the historical ctest name and `tools/lint_determinism.py`
+muscle memory keep working. Equivalent to:
 
-  rule `raw-rand`        : libc rand()/srand()/random() anywhere in src/
-  rule `random-device`   : std::random_device outside src/util/rng.*
-  rule `wall-clock`      : wall/monotonic clocks (std::chrono::*_clock, time(),
-                           gettimeofday, clock_gettime, localtime, gmtime) in
-                           simulation/step paths (everything except src/util,
-                           where no clock use exists either, but timers for
-                           profiling tools may one day live there explicitly)
-  rule `unordered-iter`  : std::unordered_map/set in src/ — iteration order is
-                           implementation-defined and has repeatedly leaked
-                           into trace output in comparable codebases; use
-                           std::map / sorted vectors, or suppress per line
-  rule `uninit-member`   : serialized packet/frame/trace struct members without
-                           a default member initializer (the bytes feed hashes
-                           and the wire format, so indeterminate values break
-                           replay comparison)
+    python3 -m tools.rdsim_lint.cli --rules determinism [args...]
 
-A line can be suppressed with a trailing `// lint:allow(<rule>)` comment.
 Exit status: 0 clean, 1 violations, 2 usage/config error.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.hpp", "*.cpp")
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-# Files whose structs cross a serialization or hashing boundary, and the
-# structs audited in each. Members of these structs must have default member
-# initializers so padding-free field state is never indeterminate.
-SERIALIZED_STRUCTS = {
-    "src/net/packet.hpp": ["Packet", "QdiscStats"],
-    "src/sim/frame.hpp": ["ActorSnapshot", "WorldFrame"],
-    "src/sim/types.hpp": ["VehicleControl", "KinematicState", "BoundingBox",
-                          "WeatherConfig"],
-    "src/trace/trace.hpp": ["EgoSample", "OtherSample", "CollisionRecord",
-                            "LaneInvasionRecord", "FaultRecord"],
-}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-RAW_RAND_RE = re.compile(r"(?<![\w:])(?:s?rand|random|rand_r|drand48|lrand48)\s*\(")
-RANDOM_DEVICE_RE = re.compile(r"std::random_device")
-WALL_CLOCK_RE = re.compile(
-    r"std::chrono::(?:system|steady|high_resolution)_clock"
-    r"|(?<![\w:.])(?:time|gettimeofday|clock_gettime|clock|localtime|gmtime)\s*\("
-)
-UNORDERED_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)")
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Remove // comments and string/char literal contents (keeps quotes)."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(c)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    break
-                i += 1
-            out.append(quote)
-            i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Violation:
-    def __init__(self, rule: str, path: Path, line_no: int, text: str):
-        self.rule = rule
-        self.path = path
-        self.line_no = line_no
-        self.text = text
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text.strip()}"
-
-
-def allowed_rules(line: str) -> set[str]:
-    return set(ALLOW_RE.findall(line))
-
-
-def scan_file(path: Path, rel: str) -> list[Violation]:
-    violations: list[Violation] = []
-    in_block_comment = False
-    is_rng_impl = rel.startswith("src/util/rng")
-
-    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
-        allowed = allowed_rules(raw)
-
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        start = line.find("/*")
-        if start >= 0:
-            end = line.find("*/", start + 2)
-            if end < 0:
-                in_block_comment = True
-                line = line[:start]
-            else:
-                line = line[:start] + line[end + 2:]
-        code = strip_comments_and_strings(line)
-
-        def report(rule: str) -> None:
-            if rule not in allowed:
-                violations.append(Violation(rule, path, line_no, raw))
-
-        if RAW_RAND_RE.search(code):
-            report("raw-rand")
-        if not is_rng_impl and RANDOM_DEVICE_RE.search(code):
-            report("random-device")
-        if WALL_CLOCK_RE.search(code):
-            report("wall-clock")
-        if UNORDERED_RE.search(code):
-            report("unordered-iter")
-
-    return violations
-
-
-# Member declaration inside a struct body: `Type name;` with no `{...}` or
-# `= ...` initializer. Lines containing `(` are functions; `using`, `static`,
-# `friend`, access specifiers and comments are skipped.
-MEMBER_DECL_RE = re.compile(r"^\s*[\w:<>,&\s\*]+\s[\w\[\]]+\s*;\s*(//.*)?$")
-MEMBER_SKIP_RE = re.compile(
-    r"^\s*(?:using |typedef |static |friend |public:|private:|protected:|//|#|$)"
-)
-
-
-def audit_struct(lines: list[str], start: int, path: Path,
-                 struct_name: str) -> list[Violation]:
-    """Scan one struct body for members lacking default initializers."""
-    violations: list[Violation] = []
-    depth = 0
-    opened = False
-    i = start
-    while i < len(lines):
-        raw = lines[i]
-        depth += raw.count("{") - raw.count("}")
-        if not opened and "{" in raw:
-            opened = True
-            i += 1
-            continue
-        if opened and depth <= 0:
-            break
-        if opened and depth == 1:
-            code = strip_comments_and_strings(raw)
-            if (not MEMBER_SKIP_RE.match(code)
-                    and "(" not in code
-                    and "=" not in code
-                    and "{" not in code
-                    and MEMBER_DECL_RE.match(code)
-                    and "uninit-member" not in allowed_rules(raw)):
-                violations.append(Violation(
-                    "uninit-member", path, i + 1,
-                    f"{raw.strip()}  (member of {struct_name} lacks a default "
-                    "initializer)"))
-        i += 1
-    return violations
-
-
-def scan_serialized_structs(root: Path) -> list[Violation]:
-    violations: list[Violation] = []
-    for rel, structs in SERIALIZED_STRUCTS.items():
-        path = root / rel
-        if not path.is_file():
-            print(f"config error: {rel} listed in SERIALIZED_STRUCTS but missing",
-                  file=sys.stderr)
-            sys.exit(2)
-        lines = path.read_text().splitlines()
-        for struct_name in structs:
-            decl = re.compile(rf"^\s*struct {struct_name}\b")
-            for i, line in enumerate(lines):
-                if decl.match(line):
-                    violations.extend(audit_struct(lines, i, path, struct_name))
-                    break
-            else:
-                print(f"config error: struct {struct_name} not found in {rel}",
-                      file=sys.stderr)
-                sys.exit(2)
-    return violations
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[1],
-                        help="repository root (contains src/)")
-    args = parser.parse_args()
-
-    src = args.root / "src"
-    if not src.is_dir():
-        print(f"usage error: {src} is not a directory", file=sys.stderr)
-        return 2
-
-    violations: list[Violation] = []
-    for glob in SOURCE_GLOBS:
-        for path in sorted(src.rglob(glob)):
-            violations.extend(scan_file(path, path.relative_to(args.root).as_posix()))
-    violations.extend(scan_serialized_structs(args.root))
-
-    if violations:
-        print(f"determinism lint: {len(violations)} violation(s)", file=sys.stderr)
-        for v in violations:
-            print(f"  {v}", file=sys.stderr)
-        return 1
-    print("determinism lint: clean")
-    return 0
-
+from tools.rdsim_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main(["--rules", "determinism", *sys.argv[1:]]))

@@ -1,174 +1,21 @@
 #!/usr/bin/env python3
-"""Observability lint for rdsim's src/ tree (wired into ctest as `obs_lint`).
+"""Observability lint (ctest `obs_lint`) — shim over tools/rdsim_lint.
 
-The obs layer stays deterministic and cheap only if instrumentation follows
-three conventions; this lint fails the build when first-party code drifts:
+The rule set lives in tools/rdsim_lint/rules/obs.py; this entry point exists
+so the historical ctest name and `tools/lint_obs.py` muscle memory keep
+working. Equivalent to:
 
-  rule `metric-registration` : obs::register_counter/gauge/timer/histogram
-                               calls in src/ outside src/obs/catalog.cpp.
-                               Registration takes a lock and metric identity
-                               must be static, so all first-party ids live in
-                               the catalog (declared in obs/catalog.hpp).
-                               Tests and benches may register test.* metrics.
-  rule `hot-path-literal`    : a string literal inside an RDSIM_OBS_* macro
-                               invocation or Context hot-path call
-                               (count/gauge_set/observe/timer_add/span_open/
-                               instant). Hot paths must pass MetricIds from
-                               the catalog, never name strings — there is no
-                               by-name lookup on the sample path.
-  rule `duplicate-name`      : the same metric name string registered twice
-                               in src/obs/catalog.cpp (registration would
-                               throw at static-init time, which surfaces as
-                               an opaque pre-main abort; catch it in lint).
-  rule `catalog-undeclared`  : a metric registered in catalog.cpp whose id
-                               constant is not declared in catalog.hpp (the
-                               id would be unreachable from instrumentation).
+    python3 -m tools.rdsim_lint.cli --rules obs [args...]
 
-A line can be suppressed with a trailing `// lint:allow(<rule>)` comment.
 Exit status: 0 clean, 1 violations, 2 usage/config error.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.hpp", "*.cpp")
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-REGISTER_RE = re.compile(r"\bregister_(?:counter|gauge|timer|histogram)\s*\(")
-# RDSIM_OBS_COUNT / _GAUGE_SET / _OBSERVE / _TIMER / _EVENT invocations and the
-# Context hot-path methods; a '"' in the argument list is a name string on a
-# sample path.
-HOT_MACRO_RE = re.compile(
-    r"RDSIM_OBS_(?:COUNT|GAUGE_SET|OBSERVE|TIMER|EVENT)\s*\(([^)]*)"
-)
-HOT_METHOD_RE = re.compile(
-    r"(?:->|\.)\s*(?:count|gauge_set|observe|timer_add|span_open|instant)"
-    r"\s*\(([^)]*)"
-)
-REGISTER_NAME_RE = re.compile(
-    r"\bregister_(?:counter|gauge|timer|histogram)\s*\(\s*\"([^\"]+)\""
-)
-DECLARED_ID_RE = re.compile(r"\bextern\s+const\s+MetricId\s+(k\w+)\s*;")
-DEFINED_ID_RE = re.compile(r"\bconst\s+MetricId\s+(k\w+)\s*=")
-
-# Files allowed to call register_* besides the catalog: the registry
-# implementation itself (declarations + definition of the functions).
-REGISTRATION_IMPL = ("src/obs/metrics.hpp", "src/obs/metrics.cpp")
-CATALOG_CPP = "src/obs/catalog.cpp"
-CATALOG_HPP = "src/obs/catalog.hpp"
-
-
-def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
-    """Drop // and /* */ comment text (strings are kept — the rules here are
-    *about* string literals on instrumentation lines)."""
-    if in_block:
-        end = line.find("*/")
-        if end < 0:
-            return "", True
-        line = line[end + 2:]
-    start = line.find("/*")
-    if start >= 0:
-        end = line.find("*/", start + 2)
-        if end < 0:
-            return line[:start], True
-        return line[:start] + line[end + 2:], False
-    cut = line.find("//")
-    if cut >= 0:
-        line = line[:cut]
-    return line, False
-
-
-class Violation:
-    def __init__(self, rule: str, path: Path, line_no: int, text: str):
-        self.rule = rule
-        self.path = path
-        self.line_no = line_no
-        self.text = text
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text.strip()}"
-
-
-def scan_file(path: Path, rel: str) -> list[Violation]:
-    violations: list[Violation] = []
-    in_block = False
-    may_register = rel in REGISTRATION_IMPL or rel == CATALOG_CPP
-
-    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
-        allowed = set(ALLOW_RE.findall(raw))
-        code, in_block = strip_comments(raw, in_block)
-
-        def report(rule: str) -> None:
-            if rule not in allowed:
-                violations.append(Violation(rule, path, line_no, raw))
-
-        if not may_register and REGISTER_RE.search(code):
-            report("metric-registration")
-        for match in HOT_MACRO_RE.finditer(code):
-            if '"' in match.group(1):
-                report("hot-path-literal")
-        for match in HOT_METHOD_RE.finditer(code):
-            if '"' in match.group(1):
-                report("hot-path-literal")
-    return violations
-
-
-def check_catalog(root: Path) -> list[Violation]:
-    violations: list[Violation] = []
-    cpp = root / CATALOG_CPP
-    hpp = root / CATALOG_HPP
-    if not cpp.is_file() or not hpp.is_file():
-        return violations
-
-    declared = set(DECLARED_ID_RE.findall(hpp.read_text()))
-    seen_names: dict[str, int] = {}
-    for line_no, raw in enumerate(cpp.read_text().splitlines(), start=1):
-        allowed = set(ALLOW_RE.findall(raw))
-        name_match = REGISTER_NAME_RE.search(raw)
-        if name_match:
-            name = name_match.group(1)
-            if name in seen_names and "duplicate-name" not in allowed:
-                violations.append(Violation(
-                    "duplicate-name", cpp, line_no,
-                    f'"{name}" first registered on line {seen_names[name]}'))
-            seen_names.setdefault(name, line_no)
-        for ident in DEFINED_ID_RE.findall(raw):
-            if ident not in declared and "catalog-undeclared" not in allowed:
-                violations.append(Violation("catalog-undeclared", cpp, line_no, raw))
-    return violations
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=Path, required=True,
-                        help="repository root (contains src/)")
-    args = parser.parse_args()
-
-    src = args.root / "src"
-    if not src.is_dir():
-        print(f"obs_lint: no src/ under {args.root}", file=sys.stderr)
-        return 2
-
-    violations: list[Violation] = []
-    for glob in SOURCE_GLOBS:
-        for path in sorted(src.rglob(glob)):
-            rel = path.relative_to(args.root).as_posix()
-            violations.extend(scan_file(path, rel))
-    violations.extend(check_catalog(args.root))
-
-    for violation in violations:
-        print(violation)
-    if violations:
-        print(f"obs_lint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    print("obs_lint: clean")
-    return 0
-
+from tools.rdsim_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main(["--rules", "obs", *sys.argv[1:]]))

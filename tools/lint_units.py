@@ -1,200 +1,22 @@
 #!/usr/bin/env python3
-"""Units lint for rdsim's src/ tree (wired into ctest as `units_lint`).
+"""Units lint (ctest `units_lint`) — shim over tools/rdsim_lint.
 
-`src/util/units.hpp` makes physical units part of the type system: Seconds,
-Millis, Meters, MetersPerSecond, BytesPerSecond, Probability. This lint keeps
-the migration from regressing:
+The rule set (and the per-file raw-suffix ratchet BASELINE) lives in
+tools/rdsim_lint/rules/units.py; this entry point exists so the historical
+ctest name and `tools/lint_units.py` muscle memory keep working. Equivalent
+to:
 
-  rule `raw-unit-suffix`  : a raw `double`/`float` declaration whose name ends
-                            in a unit suffix (_ms, _s, _us, _mps, _kmh, _mps2,
-                            _bps, _m — including trailing-underscore members
-                            like `tau_s_`). New code must use the strong types;
-                            a suffix-on-double is the pre-migration idiom.
-  rule `magic-conversion` : hand-written unit-conversion constants outside the
-                            units layer — `1e3` (ms<->s), `3.6` (km/h<->m/s),
-                            `* 1000.0` / `/ 8.0` (tc bit-rate family). Every
-                            conversion factor must live in src/util/units.hpp
-                            (or src/util/time.hpp for the integer-microsecond
-                            clock) so it exists exactly once.
+    python3 -m tools.rdsim_lint.cli --rules units [args...]
 
-The suffix rule is a *ratchet*: files listed in BASELINE keep their audited
-count of deliberate raw declarations (wire formats, the DriverParams model
-whose gains are documented per-field, dimensionless filter cores). A file may
-go below its baseline (tighten the entry when it does) but never above, and
-files not listed must be clean.
-
-A line can be suppressed with a trailing `// lint:allow(<rule>)` comment.
 Exit status: 0 clean, 1 violations, 2 usage/config error.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.hpp", "*.cpp")
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-# Files allowed to contain conversion constants: the units layer itself and
-# the integer-microsecond virtual clock it is built on.
-CONVERSION_LAYER = {
-    "src/util/units.hpp",
-    "src/util/units.cpp",
-    "src/util/time.hpp",
-}
-
-# Audited raw-suffix declaration counts (matching lines per file). These are
-# deliberate: serialized wire/trace formats stay raw doubles (stable layout,
-# wrapped at call sites), DriverParams documents each gain's unit per field,
-# filters and the road builder are generic numeric utilities. Ratchet: lower
-# these when a file migrates further; never raise one.
-BASELINE = {
-    # 19 documented DriverParams model gains; display_staleness() migrated to
-    # units::Seconds when the mitigation estimator started consuming it.
-    "src/core/driver.hpp": 19,
-    "src/util/filters.hpp": 5,
-    "src/util/filters.cpp": 2,
-    "src/sim/road.hpp": 4,
-    "src/sim/road.cpp": 4,
-    "src/trace/trace.hpp": 2,
-    "src/sim/rpc.hpp": 1,
-    "src/sim/frame.hpp": 1,
-}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-RAW_SUFFIX_RE = re.compile(
-    r"\b(?:double|float)\s+[A-Za-z_][A-Za-z_0-9]*"
-    r"_(?:ms|s|us|mps|kmh|mps2|bps|m)_?\b"
-)
-
-MAGIC_CONVERSION_RE = re.compile(
-    r"\b1e3(?![0-9])"          # ms <-> s factor (1e300 sentinels excluded)
-    r"|(?<![\d.])3\.6(?![\d])"  # km/h <-> m/s factor
-    r"|\*\s*1000\.0\b"          # tc decimal kilo step
-    r"|/\s*8\.0\b"              # bits -> bytes
-)
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Remove // comments and string/char literal contents (keeps quotes)."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(c)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    break
-                i += 1
-            out.append(quote)
-            i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Violation:
-    def __init__(self, rule: str, path: Path, line_no: int, text: str):
-        self.rule = rule
-        self.path = path
-        self.line_no = line_no
-        self.text = text
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text.strip()}"
-
-
-def scan_file(path: Path, rel: str) -> tuple[list[Violation], list[Violation]]:
-    """Returns (hard violations, raw-suffix hits subject to the ratchet)."""
-    hard: list[Violation] = []
-    suffix_hits: list[Violation] = []
-    in_block_comment = False
-    in_conversion_layer = rel in CONVERSION_LAYER
-
-    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
-        allowed = set(ALLOW_RE.findall(raw))
-
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        start = line.find("/*")
-        if start >= 0:
-            end = line.find("*/", start + 2)
-            if end < 0:
-                in_block_comment = True
-                line = line[:start]
-            else:
-                line = line[:start] + line[end + 2:]
-        code = strip_comments_and_strings(line)
-
-        if (not in_conversion_layer and "raw-unit-suffix" not in allowed
-                and RAW_SUFFIX_RE.search(code)):
-            suffix_hits.append(Violation("raw-unit-suffix", path, line_no, raw))
-        if (not in_conversion_layer and "magic-conversion" not in allowed
-                and MAGIC_CONVERSION_RE.search(code)):
-            hard.append(Violation("magic-conversion", path, line_no, raw))
-
-    return hard, suffix_hits
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=Path, default=Path.cwd(),
-                        help="repository root containing src/")
-    args = parser.parse_args()
-
-    src = args.root / "src"
-    if not src.is_dir():
-        print(f"units lint: no src/ under {args.root}", file=sys.stderr)
-        return 2
-
-    violations: list[Violation] = []
-    ratchet_errors: list[str] = []
-
-    for glob in SOURCE_GLOBS:
-        for path in sorted(src.rglob(glob)):
-            rel = path.relative_to(args.root).as_posix()
-            hard, suffix_hits = scan_file(path, rel)
-            violations.extend(hard)
-
-            budget = BASELINE.get(rel, 0)
-            if len(suffix_hits) > budget:
-                violations.extend(suffix_hits)
-                ratchet_errors.append(
-                    f"{rel}: {len(suffix_hits)} raw-unit-suffix declarations, "
-                    f"baseline allows {budget} — use the units:: strong types")
-            elif len(suffix_hits) < budget:
-                ratchet_errors.append(
-                    f"{rel}: baseline {budget} but only {len(suffix_hits)} "
-                    f"raw-unit-suffix declarations remain — lower BASELINE in "
-                    f"tools/lint_units.py to lock in the progress")
-
-    for v in violations:
-        print(v)
-    for msg in ratchet_errors:
-        print(f"ratchet: {msg}")
-    if violations or ratchet_errors:
-        print(f"\nunits lint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    print("units lint: clean")
-    return 0
-
+from tools.rdsim_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main(["--rules", "units", *sys.argv[1:]]))

@@ -1,0 +1,19 @@
+"""rdsim_lint — shared C++-aware lint framework for the rdsim repository.
+
+One engine (tools/rdsim_lint/engine.py) owns file loading, comment/string/
+raw-string-aware cleaning, `// lint:allow(rule[: reason])` escapes, baselines,
+and JSON violation reports. Individual analyses live in tools/rdsim_lint/rules/
+and are registered by name; `cli.py` is the single entry point wired into
+ctest and CI. See docs/correctness.md ("Static analysis") for the rule
+catalogue and escape grammar.
+"""
+
+from .engine import ConfigError, SourceFile, SourceTree, Violation, run_rules
+
+__all__ = [
+    "ConfigError",
+    "SourceFile",
+    "SourceTree",
+    "Violation",
+    "run_rules",
+]

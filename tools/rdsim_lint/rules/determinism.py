@@ -1,0 +1,107 @@
+"""Determinism lint (ctest `determinism_lint`).
+
+The testbed's reproducibility contract is that one seed fully determines a
+campaign. This rule set fails the build when known nondeterminism hazards
+enter first-party code:
+
+  raw-rand        libc rand()/srand()/random() anywhere in src/
+  random-device   std::random_device outside src/util/rng.*
+  wall-clock      wall/monotonic clocks (std::chrono::*_clock, time(),
+                  gettimeofday, clock_gettime, localtime, gmtime) in
+                  simulation/step paths
+  unordered-iter  std::unordered_map/set in src/ — iteration order is
+                  implementation-defined and leaks into trace output
+  uninit-member   serialized packet/frame/trace struct members without a
+                  default member initializer (the bytes feed hashes and the
+                  wire format, so indeterminate values break replay)
+
+Ported onto the rdsim_lint engine: matching now runs on comment/string/
+raw-string-aware masked text, and the uninit-member audit uses the shared
+struct extractor instead of a line regex.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import ConfigError, SourceTree, Violation
+
+# Files whose structs cross a serialization or hashing boundary, and the
+# structs audited in each. Members must carry default member initializers so
+# field state is never indeterminate.
+SERIALIZED_STRUCTS = {
+    "src/net/packet.hpp": ["Packet", "QdiscStats"],
+    "src/sim/frame.hpp": ["ActorSnapshot", "WorldFrame"],
+    "src/sim/types.hpp": ["VehicleControl", "KinematicState", "BoundingBox",
+                          "WeatherConfig"],
+    "src/trace/trace.hpp": ["EgoSample", "OtherSample", "CollisionRecord",
+                            "LaneInvasionRecord", "FaultRecord"],
+}
+
+RAW_RAND_RE = re.compile(
+    r"(?<![\w:])(?:s?rand|random|rand_r|drand48|lrand48)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"std::random_device")
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system|steady|high_resolution)_clock"
+    r"|(?<![\w:.])(?:time|gettimeofday|clock_gettime|clock|localtime|gmtime)\s*\("
+)
+UNORDERED_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)")
+
+
+class DeterminismRule:
+    name = "determinism"
+
+    def __init__(self, serialized_structs: dict[str, list[str]] | None = None):
+        self.serialized_structs = (SERIALIZED_STRUCTS
+                                   if serialized_structs is None
+                                   else serialized_structs)
+
+    def check(self, tree: SourceTree) -> list[Violation]:
+        violations: list[Violation] = []
+        for sf in tree.files:
+            is_rng_impl = sf.rel.startswith("src/util/rng")
+            for line_no, code in enumerate(sf.masked_lines, start=1):
+                def report(rule: str) -> None:
+                    violations.append(Violation(
+                        rule, sf.rel, line_no,
+                        sf.raw_lines[line_no - 1].strip()))
+
+                if RAW_RAND_RE.search(code):
+                    report("raw-rand")
+                if not is_rng_impl and RANDOM_DEVICE_RE.search(code):
+                    report("random-device")
+                if WALL_CLOCK_RE.search(code):
+                    report("wall-clock")
+                if UNORDERED_RE.search(code):
+                    report("unordered-iter")
+        violations.extend(self._audit_serialized(tree))
+        return violations
+
+    def _audit_serialized(self, tree: SourceTree) -> list[Violation]:
+        violations: list[Violation] = []
+        index = tree.struct_index()
+        for rel, struct_names in self.serialized_structs.items():
+            if tree.file(rel) is None:
+                raise ConfigError(
+                    f"{rel} listed in SERIALIZED_STRUCTS but missing from "
+                    "the tree — update tools/rdsim_lint/rules/determinism.py")
+            for struct_name in struct_names:
+                matches = [s for s in index.find(struct_name)
+                           if s.file == rel]
+                if not matches:
+                    raise ConfigError(
+                        f"struct {struct_name} not found in {rel} "
+                        "(SERIALIZED_STRUCTS is stale)")
+                for struct in matches:
+                    for member in struct.members:
+                        if member.has_init:
+                            continue
+                        violations.append(Violation(
+                            "uninit-member", rel, member.line,
+                            f"{struct.name}::{member.name} is serialized but "
+                            "lacks a default member initializer"))
+        return violations
+
+
+def make_rule() -> DeterminismRule:
+    return DeterminismRule()

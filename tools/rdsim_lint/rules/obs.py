@@ -1,0 +1,102 @@
+"""Observability lint (ctest `obs_lint`).
+
+The obs layer stays deterministic and cheap only if instrumentation follows
+the catalog conventions; this rule set fails the build when first-party code
+drifts:
+
+  metric-registration  obs::register_counter/gauge/timer/histogram calls in
+                       src/ outside src/obs/catalog.cpp (registration takes a
+                       lock and metric identity must be static)
+  hot-path-literal     a string literal inside an RDSIM_OBS_* macro
+                       invocation or Context hot-path call — hot paths must
+                       pass MetricIds from the catalog, never name strings
+  duplicate-name       the same metric name registered twice in catalog.cpp
+                       (would throw at static-init time)
+  catalog-undeclared   a metric registered in catalog.cpp whose id constant
+                       is not declared in catalog.hpp
+
+These rules are *about* string literals, so they run on the engine's
+comment-stripped-but-strings-kept view of each file.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import SourceTree, Violation
+
+REGISTER_RE = re.compile(r"\bregister_(?:counter|gauge|timer|histogram)\s*\(")
+HOT_MACRO_RE = re.compile(
+    r"RDSIM_OBS_(?:COUNT|GAUGE_SET|OBSERVE|TIMER|EVENT)\s*\(([^)]*)"
+)
+HOT_METHOD_RE = re.compile(
+    r"(?:->|\.)\s*(?:count|gauge_set|observe|timer_add|span_open|instant)"
+    r"\s*\(([^)]*)"
+)
+REGISTER_NAME_RE = re.compile(
+    r"\bregister_(?:counter|gauge|timer|histogram)\s*\(\s*\"([^\"]+)\""
+)
+DECLARED_ID_RE = re.compile(r"\bextern\s+const\s+MetricId\s+(k\w+)\s*;")
+DEFINED_ID_RE = re.compile(r"\bconst\s+MetricId\s+(k\w+)\s*=")
+
+# Files allowed to call register_* besides the catalog: the registry
+# implementation itself (declarations + definition of the functions).
+REGISTRATION_IMPL = ("src/obs/metrics.hpp", "src/obs/metrics.cpp")
+CATALOG_CPP = "src/obs/catalog.cpp"
+CATALOG_HPP = "src/obs/catalog.hpp"
+
+
+class ObsRule:
+    name = "obs"
+
+    def check(self, tree: SourceTree) -> list[Violation]:
+        violations: list[Violation] = []
+        for sf in tree.files:
+            may_register = sf.rel in REGISTRATION_IMPL or sf.rel == CATALOG_CPP
+            for line_no, code in enumerate(sf.code_lines, start=1):
+                raw = sf.raw_lines[line_no - 1].strip()
+                if not may_register and REGISTER_RE.search(code):
+                    violations.append(Violation(
+                        "metric-registration", sf.rel, line_no, raw))
+                for match in HOT_MACRO_RE.finditer(code):
+                    if '"' in match.group(1):
+                        violations.append(Violation(
+                            "hot-path-literal", sf.rel, line_no, raw))
+                for match in HOT_METHOD_RE.finditer(code):
+                    if '"' in match.group(1):
+                        violations.append(Violation(
+                            "hot-path-literal", sf.rel, line_no, raw))
+        violations.extend(self._check_catalog(tree))
+        return violations
+
+    @staticmethod
+    def _check_catalog(tree: SourceTree) -> list[Violation]:
+        violations: list[Violation] = []
+        cpp_file = tree.file(CATALOG_CPP)
+        hpp_file = tree.file(CATALOG_HPP)
+        if cpp_file is None or hpp_file is None:
+            return violations
+
+        declared = set(DECLARED_ID_RE.findall(hpp_file.raw))
+        seen_names: dict[str, int] = {}
+        for line_no, code in enumerate(cpp_file.code_lines, start=1):
+            name_match = REGISTER_NAME_RE.search(code)
+            if name_match:
+                name = name_match.group(1)
+                if name in seen_names:
+                    violations.append(Violation(
+                        "duplicate-name", CATALOG_CPP, line_no,
+                        f'"{name}" first registered on line '
+                        f"{seen_names[name]}"))
+                seen_names.setdefault(name, line_no)
+            for ident in DEFINED_ID_RE.findall(code):
+                if ident not in declared:
+                    violations.append(Violation(
+                        "catalog-undeclared", CATALOG_CPP, line_no,
+                        f"{ident} defined in the catalog but not declared "
+                        "in catalog.hpp"))
+        return violations
+
+
+def make_rule() -> ObsRule:
+    return ObsRule()

@@ -1,0 +1,56 @@
+"""Thread-primitive lint (ctest `threads_lint`).
+
+Clang's `-Wthread-safety` analysis only sees locks whose types carry
+capability attributes, and libstdc++'s `std::mutex` carries none. The repo
+therefore routes every lock through the annotated wrappers in
+`src/util/thread_annotations.hpp` (`util::Mutex`, `util::MutexLock`); this
+rule keeps raw primitives from creeping back in, because every raw
+`std::mutex` is a hole in the analysis:
+
+  raw-mutex   std::mutex / timed_mutex / recursive_mutex / shared_mutex /
+              lock_guard / unique_lock / scoped_lock / condition_variable
+              anywhere in src/ outside the wrapper header itself.
+              (std::condition_variable_any is fine — it locks any lockable,
+              including util::MutexLock, so waits stay inside annotated
+              scopes.)
+
+Escape: `// lint:allow(raw-mutex: reason)` for the rare interop site.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import SourceTree, Violation
+
+WRAPPER_HEADER = "src/util/thread_annotations.hpp"
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable(?!_any))\b"
+)
+
+
+class ThreadsRule:
+    name = "threads"
+
+    def check(self, tree: SourceTree) -> list[Violation]:
+        violations: list[Violation] = []
+        for sf in tree.files:
+            if sf.rel == WRAPPER_HEADER:
+                continue
+            for line_no, code in enumerate(sf.masked_lines, start=1):
+                if RAW_MUTEX_RE.search(code):
+                    violations.append(Violation(
+                        "raw-mutex", sf.rel, line_no,
+                        sf.raw_lines[line_no - 1].strip()
+                        + "  (use util::Mutex / util::MutexLock from "
+                        "util/thread_annotations.hpp so clang thread-safety "
+                        "analysis sees the lock)"))
+        return violations
+
+
+def make_rule() -> ThreadsRule:
+    return ThreadsRule()
